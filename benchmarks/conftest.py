@@ -1,0 +1,30 @@
+"""Configuration for the benchmark harness.
+
+Environment knobs (all optional):
+
+* ``REPRO_FIG7_SIZES`` — comma-separated systolic sizes (default 2..8),
+* ``REPRO_POLYBENCH_N`` — PolyBench problem size (default 4),
+* ``REPRO_FAST`` — set to 1 to run a reduced, fast configuration.
+"""
+
+import os
+
+
+def fig7_sizes():
+    env = os.environ.get("REPRO_FIG7_SIZES")
+    if env:
+        return [int(s) for s in env.split(",") if s]
+    if os.environ.get("REPRO_FAST"):
+        return [2, 3, 4]
+    return [2, 3, 4, 5, 6, 7, 8]
+
+
+def polybench_n():
+    return int(os.environ.get("REPRO_POLYBENCH_N", "4"))
+
+
+def polybench_subset():
+    """Kernel filter: None means all 19."""
+    if os.environ.get("REPRO_FAST"):
+        return ["gemm", "trisolv", "mvt", "gesummv", "atax"]
+    return None

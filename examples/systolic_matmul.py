@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Systolic array matrix multiplication (paper Section 6.1).
+
+Generates a 4x4 systolic array from the PE-parametric generator, shows
+the wavefront schedule the generator emits, compiles it both
+latency-insensitively and latency-sensitively (with all latencies
+*inferred* from the PE, Section 5.3), and compares cycle counts against
+the paper's headline: the Sensitive pass makes systolic arrays ~1.9x
+faster at roughly the same area.
+
+Run: python examples/systolic_matmul.py
+"""
+
+from repro import compile_program, estimate_resources, run_program
+from repro.frontends.systolic import SystolicConfig, generate_systolic_array
+from repro.workloads.matmul import matmul_reference
+
+
+def main():
+    n = 4
+    config = SystolicConfig.square(n)
+
+    a = [[i + j + 1 for j in range(n)] for i in range(n)]
+    b = [[(i * j) % 5 + 1 for j in range(n)] for i in range(n)]
+    expected = matmul_reference(a, b)
+
+    memories = {}
+    for r in range(n):
+        memories[f"l{r}"] = a[r]
+    for c in range(n):
+        memories[f"t{c}"] = [b[k][c] for k in range(n)]
+    memories["out"] = [0] * (n * n)
+
+    program = generate_systolic_array(config)
+    print("Wavefront schedule (first steps of Figure 6):")
+    print("\n".join(program.main.control.to_string().splitlines()[:14]))
+    print("  ...")
+
+    results = {}
+    for pipeline in ("lower", "lower-static"):
+        compiled = generate_systolic_array(config)
+        compile_program(compiled, pipeline)
+        result = run_program(compiled, memories=memories)
+        grid = [result.mem("out")[i * n : (i + 1) * n] for i in range(n)]
+        assert grid == expected, f"wrong product: {grid}"
+        results[pipeline] = (result.cycles, estimate_resources(compiled))
+        print(f"\n{pipeline}: {result.cycles} cycles, {results[pipeline][1]}")
+
+    speedup = results["lower"][0] / results["lower-static"][0]
+    print(f"\nlatency-sensitive speedup: {speedup:.2f}x (paper: ~1.9x)")
+    print(f"C = A x B verified: {expected}")
+
+
+if __name__ == "__main__":
+    main()

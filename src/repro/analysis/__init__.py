@@ -1,0 +1,23 @@
+"""Program analyses shared by optimization passes.
+
+* :mod:`repro.analysis.schedule` — which groups may run in parallel
+  (drives resource sharing, Section 5.1),
+* :mod:`repro.analysis.pcfg` — parallel control-flow graphs with p-nodes
+  (Section 5.2, after Srinivasan & Wolfe),
+* :mod:`repro.analysis.read_write` — register read/must-write sets,
+* :mod:`repro.analysis.liveness` — backward dataflow liveness over pCFGs,
+* :mod:`repro.analysis.coloring` — greedy graph coloring,
+* :mod:`repro.analysis.latency` — static latency of control trees
+  (Sections 4.4 and 5.3).
+"""
+
+from repro.analysis.schedule import parallel_conflicts
+from repro.analysis.coloring import greedy_coloring
+from repro.analysis.latency import control_latency, group_latency
+
+__all__ = [
+    "parallel_conflicts",
+    "greedy_coloring",
+    "control_latency",
+    "group_latency",
+]

@@ -1,0 +1,49 @@
+"""Greedy graph coloring used by both sharing passes (Sections 5.1-5.2).
+
+Nodes are colored in the given order; each node takes the first available
+color. Colors are drawn from the node set itself, so a color is a
+*representative node* — exactly what the rewriting steps of the sharing
+passes need. Representatives always map to themselves, which makes the
+result directly usable as a rename map.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Set, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def greedy_coloring(
+    nodes: List[Node],
+    conflicts: Mapping[Node, Set[Node]],
+) -> Dict[Node, Node]:
+    """Map each node to a representative such that neighbors differ.
+
+    ``nodes`` fixes both the coloring order and the preference order for
+    representatives (earlier nodes win, so the result reuses the earliest
+    compatible resource). Invariants:
+
+    * adjacent nodes receive different representatives,
+    * every representative maps to itself (``color_of[color_of[n]] ==
+      color_of[n]``), so the map is a sound rename.
+    """
+    color_of: Dict[Node, Node] = {}
+    representatives: List[Node] = []
+    for node in nodes:
+        forbidden = {
+            color_of[neighbor]
+            for neighbor in conflicts.get(node, ())
+            if neighbor in color_of
+        }
+        chosen = None
+        for candidate in representatives:
+            if candidate not in forbidden:
+                chosen = candidate
+                break
+        if chosen is None:
+            # No existing color fits: this node becomes a new representative.
+            chosen = node
+            representatives.append(node)
+        color_of[node] = chosen
+    return color_of

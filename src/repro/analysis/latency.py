@@ -1,0 +1,75 @@
+"""Static latency computation over groups and control trees.
+
+Latency information flows from the ``"static"`` attribute (paper Section
+3.5). A group's latency is the attribute on the group; a control tree's
+latency composes children:
+
+* ``enable g`` — the static latency of ``g``,
+* ``seq`` — sum of children,
+* ``par`` — max of children,
+* ``invoke c`` — the static latency of ``c``'s component,
+* ``if``/``while`` — unknown (``None``); the paper's Sensitive pass treats
+  these dynamically, and our implementation follows (a ``while`` trip
+  count is data-dependent in general).
+
+``None`` means "no static latency available"; such subtrees fall back to
+latency-insensitive compilation (Section 4.4's graceful mixing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.ast import Component, Group, Program
+from repro.ir.attributes import STATIC
+from repro.ir.control import Control, Empty, Enable, If, Invoke, Par, Repeat, Seq, While
+from repro.stdlib.primitives import get_primitive, is_primitive
+
+
+def group_latency(group: Group) -> Optional[int]:
+    """The group's declared static latency, if any."""
+    return group.attributes.get(STATIC)
+
+
+def component_latency(program: Program, comp_name: str) -> Optional[int]:
+    """Static latency of a component or primitive, if declared."""
+    if is_primitive(comp_name):
+        return get_primitive(comp_name).attributes.get(STATIC)
+    if program.has_component(comp_name):
+        return program.get_component(comp_name).attributes.get(STATIC)
+    return None
+
+
+def control_latency(program: Program, comp: Component, node: Control) -> Optional[int]:
+    """Static latency of a control subtree, or ``None`` when unknown."""
+    if isinstance(node, Empty):
+        return 0
+    if isinstance(node, Enable):
+        return group_latency(comp.get_group(node.group))
+    if isinstance(node, Seq):
+        total = 0
+        for child in node.stmts:
+            latency = control_latency(program, comp, child)
+            if latency is None:
+                return None
+            total += latency
+        return total
+    if isinstance(node, Par):
+        longest = 0
+        for child in node.stmts:
+            latency = control_latency(program, comp, child)
+            if latency is None:
+                return None
+            longest = max(longest, latency)
+        return longest
+    if isinstance(node, Invoke):
+        cell = comp.get_cell(node.cell)
+        return component_latency(program, cell.comp_name)
+    if isinstance(node, Repeat):
+        body = control_latency(program, comp, node.body)
+        if body is None:
+            return None
+        return node.times * body
+    if isinstance(node, (If, While)):
+        return None
+    return None

@@ -1,0 +1,181 @@
+"""Live-range analysis over pCFGs (paper Section 5.2).
+
+A standard backward dataflow — ``live_in = reads ∪ (live_out −
+must_writes)`` — with the paper's special handling of p-nodes: each child
+sub-graph is analyzed with its exit live set equal to the live-out of the
+whole p-node, and the p-node's live-in joins the children's entry live-ins
+with whatever survives every child's kills.
+
+The result feeds an interference (conflict) graph over registers:
+
+* a register written at a node conflicts with everything live after it,
+* all registers simultaneously live into a node conflict pairwise,
+* registers *written* in one arm of a ``par`` conflict with registers
+  *accessed* in any sibling arm (arms run concurrently, so a merged
+  register would be clobbered mid-flight).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Set, Tuple
+
+from repro.ir.ast import Component
+from repro.analysis.pcfg import Pcfg, PcfgNode, build_pcfg
+from repro.analysis.read_write import (
+    AccessSets,
+    continuous_registers,
+    group_accesses,
+    invoke_accesses,
+    registers_of,
+)
+
+
+class LivenessResult:
+    """Per-node live-in/live-out sets plus the register conflict graph."""
+
+    def __init__(self) -> None:
+        self.live_in: Dict[int, Set[str]] = {}
+        self.live_out: Dict[int, Set[str]] = {}
+        self.conflicts: Set[FrozenSet[str]] = set()
+
+    def add_conflict(self, a: str, b: str) -> None:
+        if a != b:
+            self.conflicts.add(frozenset((a, b)))
+
+    def conflict_map(self) -> Dict[str, Set[str]]:
+        adj: Dict[str, Set[str]] = {}
+        for pair in self.conflicts:
+            a, b = tuple(pair)
+            adj.setdefault(a, set()).add(b)
+            adj.setdefault(b, set()).add(a)
+        return adj
+
+
+class LivenessAnalysis:
+    """Computes liveness and register interference for one component."""
+
+    def __init__(self, comp: Component):
+        self.comp = comp
+        self.registers = registers_of(comp)
+        self.pinned = continuous_registers(comp)
+        self.graph = build_pcfg(comp)
+        self._accesses: Dict[int, AccessSets] = {}
+        self.result = LivenessResult()
+        self._run()
+
+    # -- access sets ------------------------------------------------------
+    def accesses(self, node: PcfgNode) -> AccessSets:
+        if node.id not in self._accesses:
+            if node.kind == "group" and node.group is not None:
+                group = self.comp.get_group(node.group)
+                sets = group_accesses(self.comp, group, self.registers)
+            elif node.kind == "invoke" and node.invoke is not None:
+                sets = invoke_accesses(node.invoke, self.registers)
+            else:
+                sets = AccessSets()
+            self._accesses[node.id] = sets
+        return self._accesses[node.id]
+
+    # -- dataflow ------------------------------------------------------------
+    def _run(self) -> None:
+        changed = True
+        while changed:
+            changed = self._analyze(self.graph, exit_live=set())
+        self._collect_conflicts(self.graph)
+
+    def _analyze(self, graph: Pcfg, exit_live: Set[str]) -> bool:
+        """One backward sweep; returns whether any live set changed."""
+        changed = False
+        for node in reversed(graph.nodes):
+            if node is graph.exit:
+                out = set(exit_live)
+            else:
+                out = set()
+            for succ in node.succs:
+                out |= self.result.live_in.get(succ.id, set())
+            if node is graph.exit:
+                out |= exit_live
+            if out != self.result.live_out.get(node.id, set()):
+                self.result.live_out[node.id] = out
+                changed = True
+            live_in = self._transfer(node, out)
+            if live_in != self.result.live_in.get(node.id, set()):
+                self.result.live_in[node.id] = live_in
+                changed = True
+        return changed
+
+    def _transfer(self, node: PcfgNode, live_out: Set[str]) -> Set[str]:
+        if node.kind == "par":
+            # Paper rule: each child's exit live set is the p-node's
+            # live-out; the p-node's live-in joins child entry live-ins
+            # with registers that survive every child.
+            child_ins: Set[str] = set()
+            killed_by_all: Set[str] = set(self.registers)
+            for child in node.children:
+                # Children iterate inside the outer fixpoint loop.
+                self._analyze(child, exit_live=live_out)
+                child_ins |= self.result.live_in.get(child.entry.id, set())
+                killed_by_all &= self._must_writes(child)
+            return child_ins | (live_out - killed_by_all)
+        sets = self.accesses(node)
+        return sets.reads | (live_out - sets.must_writes)
+
+    def _must_writes(self, graph: Pcfg) -> Set[str]:
+        """Registers certainly written somewhere along every path.
+
+        Conservative: only counts nodes that dominate the exit trivially
+        (straight-line members); a register written under a branch may not
+        be written at all.
+        """
+        must: Set[str] = set()
+        for node in graph.nodes:
+            # A node with no alternative paths around it: in our builder,
+            # straight-line chains are the common case; branch/loop bodies
+            # hang off cond nodes which have multiple successors.
+            if node.kind in ("group", "invoke") and len(node.preds) <= 1:
+                only_path = all(len(p.succs) == 1 for p in node.preds)
+                if only_path:
+                    must |= self.accesses(node).must_writes
+            if node.kind == "par":
+                for child in node.children:
+                    must |= self._must_writes(child)
+        return must
+
+    # -- conflicts ------------------------------------------------------------
+    def _collect_conflicts(self, graph: Pcfg) -> None:
+        for node in graph.walk():
+            out = self.result.live_out.get(node.id, set())
+            live = self.result.live_in.get(node.id, set())
+            sets = self.accesses(node)
+            for written in sets.may_writes:
+                for other in out:
+                    self.result.add_conflict(written, other)
+            live_list = sorted(live)
+            for i, a in enumerate(live_list):
+                for b in live_list[i + 1 :]:
+                    self.result.add_conflict(a, b)
+            if node.kind == "par":
+                arm_sets = [self._arm_accesses(child) for child in node.children]
+                for i in range(len(arm_sets)):
+                    for j in range(len(arm_sets)):
+                        if i == j:
+                            continue
+                        for written in arm_sets[i][1]:
+                            for accessed in arm_sets[j][0]:
+                                self.result.add_conflict(written, accessed)
+
+    def _arm_accesses(self, graph: Pcfg) -> Tuple[Set[str], Set[str]]:
+        """(accessed, written) register sets of one par arm."""
+        accessed: Set[str] = set()
+        written: Set[str] = set()
+        for node in graph.walk():
+            sets = self.accesses(node)
+            accessed |= sets.accessed()
+            written |= sets.may_writes
+        return accessed, written
+
+
+def register_conflicts(comp: Component) -> Tuple[Dict[str, Set[str]], Set[str]]:
+    """Convenience wrapper: (conflict adjacency, pinned registers)."""
+    analysis = LivenessAnalysis(comp)
+    return analysis.result.conflict_map(), analysis.pinned

@@ -1,0 +1,124 @@
+"""Parallel control-flow graphs (pCFGs), after Srinivasan & Wolfe.
+
+Most control constructs map to an ordinary CFG: ``seq`` chains, ``if``
+forms a diamond, ``while`` a back edge. ``par`` blocks get a dedicated
+*p-node* (paper Section 5.2) that recursively contains one sub-pCFG per
+child — unlike an ``if``, *all* children execute, so writes inside any
+child are visible after the block.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional
+
+from repro.ir.ast import Component
+from repro.ir.control import (
+    Control,
+    Empty,
+    Enable,
+    If,
+    Invoke,
+    Par,
+    Seq,
+    While,
+)
+
+_ids = itertools.count()
+
+
+class PcfgNode:
+    """A node in a pCFG.
+
+    ``kind`` is one of ``"nop"`` (structural marker), ``"group"`` (a group
+    enable or an if/while condition evaluation), ``"invoke"``, or
+    ``"par"`` (a p-node holding child sub-graphs).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        group: Optional[str] = None,
+        invoke: Optional[Invoke] = None,
+        children: Optional[List["Pcfg"]] = None,
+    ):
+        self.id = next(_ids)
+        self.kind = kind
+        self.group = group
+        self.invoke = invoke
+        self.children: List[Pcfg] = children or []
+        self.succs: List[PcfgNode] = []
+        self.preds: List[PcfgNode] = []
+
+    def link(self, succ: "PcfgNode") -> None:
+        if succ not in self.succs:
+            self.succs.append(succ)
+            succ.preds.append(self)
+
+    def __repr__(self) -> str:
+        label = self.group or self.kind
+        return f"PcfgNode({self.id}: {label})"
+
+
+class Pcfg:
+    """A single-entry, single-exit pCFG fragment."""
+
+    def __init__(self, entry: PcfgNode, exit_: PcfgNode, nodes: List[PcfgNode]):
+        self.entry = entry
+        self.exit = exit_
+        self.nodes = nodes
+
+    def walk(self) -> Iterator[PcfgNode]:
+        """All nodes in this graph, recursing into p-node children."""
+        for node in self.nodes:
+            yield node
+            for child in node.children:
+                yield from child.walk()
+
+
+def build_pcfg(comp: Component) -> Pcfg:
+    """Build the pCFG of a component's control program."""
+    return _build(comp.control)
+
+
+def _single(node: PcfgNode) -> Pcfg:
+    return Pcfg(node, node, [node])
+
+
+def _build(node: Control) -> Pcfg:
+    if isinstance(node, Empty):
+        return _single(PcfgNode("nop"))
+    if isinstance(node, Enable):
+        return _single(PcfgNode("group", group=node.group))
+    if isinstance(node, Invoke):
+        return _single(PcfgNode("invoke", invoke=node))
+    if isinstance(node, Seq):
+        if not node.stmts:
+            return _single(PcfgNode("nop"))
+        graphs = [_build(child) for child in node.stmts]
+        for left, right in zip(graphs, graphs[1:]):
+            left.exit.link(right.entry)
+        nodes = [n for g in graphs for n in g.nodes]
+        return Pcfg(graphs[0].entry, graphs[-1].exit, nodes)
+    if isinstance(node, Par):
+        children = [_build(child) for child in node.stmts]
+        return _single(PcfgNode("par", children=children))
+    if isinstance(node, If):
+        cond = PcfgNode("group", group=node.cond_group) if node.cond_group else PcfgNode("nop")
+        join = PcfgNode("nop")
+        nodes = [cond, join]
+        for branch in (node.tbranch, node.fbranch):
+            graph = _build(branch)
+            cond.link(graph.entry)
+            graph.exit.link(join)
+            nodes.extend(graph.nodes)
+        return Pcfg(cond, join, nodes)
+    if isinstance(node, While):
+        cond = PcfgNode("group", group=node.cond_group) if node.cond_group else PcfgNode("nop")
+        exit_ = PcfgNode("nop")
+        body = _build(node.body)
+        cond.link(body.entry)
+        body.exit.link(cond)
+        cond.link(exit_)
+        return Pcfg(cond, exit_, [cond, exit_] + body.nodes + [])
+    raise TypeError(f"cannot build pCFG for control node {node!r}")

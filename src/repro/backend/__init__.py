@@ -1,0 +1,7 @@
+"""Backends: SystemVerilog emission (the paper's Lower pass) and the
+structural resource estimator standing in for Vivado synthesis."""
+
+from repro.backend.verilog import emit_verilog
+from repro.backend.resources import estimate_resources
+
+__all__ = ["emit_verilog", "estimate_resources"]

@@ -1,0 +1,137 @@
+"""Structural resource estimation — the Vivado-synthesis substitute.
+
+Walks a (typically lowered) program and charges:
+
+* per-cell primitive costs (:mod:`repro.stdlib.costs`), recursing into
+  user-defined components,
+* multiplexer costs for every port with more than one driver (sharing a
+  component adds drivers to its input ports — the mechanism behind the
+  paper's observation that sharing can *increase* LUT usage, Figure 9a),
+* guard logic costs, counting each structurally distinct guard node once
+  (synthesis shares common subexpressions).
+
+Only relative numbers are meaningful; every figure in the paper is a
+ratio, which this model preserves structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.ir.ast import (
+    Assignment,
+    CellPort,
+    Component,
+    ConstPort,
+    HolePort,
+    PortRef,
+    Program,
+    ThisPort,
+)
+from repro.ir.guards import (
+    AndGuard,
+    CmpGuard,
+    Guard,
+    NotGuard,
+    OrGuard,
+    PortGuard,
+    TrueGuard,
+)
+from repro.stdlib.costs import Resources, guard_cost, mux_cost, primitive_cost
+from repro.stdlib.primitives import is_primitive
+
+
+class _WidthTable:
+    """Destination-port width lookup for one component."""
+
+    def __init__(self, program: Program, comp: Component):
+        self.program = program
+        self.comp = comp
+        self.cell_sigs: Dict[str, Dict[str, int]] = {}
+        for cell in comp.cells.values():
+            sig = program.cell_signature(cell)
+            self.cell_sigs[cell.name] = {p: d.width for p, d in sig.items()}
+
+    def width(self, ref: PortRef) -> int:
+        if isinstance(ref, ConstPort):
+            return ref.width
+        if isinstance(ref, HolePort):
+            return 1
+        if isinstance(ref, ThisPort):
+            return self.comp.port_def(ref.port).width
+        if isinstance(ref, CellPort):
+            return self.cell_sigs.get(ref.cell, {}).get(ref.port, 1)
+        return 1
+
+
+def _collect_guard_nodes(guard: Guard, seen: Set[Guard]) -> None:
+    """Add each operator node (not leaves) to ``seen``, deduplicated."""
+    if isinstance(guard, (TrueGuard, PortGuard)):
+        return
+    if guard in seen:
+        return
+    seen.add(guard)
+    if isinstance(guard, NotGuard):
+        _collect_guard_nodes(guard.inner, seen)
+    elif isinstance(guard, (AndGuard, OrGuard)):
+        _collect_guard_nodes(guard.left, seen)
+        _collect_guard_nodes(guard.right, seen)
+    # CmpGuard has no guard children but costs a comparator-ish LUT blob,
+    # which the single node in `seen` accounts for.
+
+
+def component_resources(
+    program: Program,
+    comp: Component,
+    _cache: Dict[str, Resources],
+) -> Resources:
+    """Resources of one component including its subcomponents."""
+    if comp.name in _cache:
+        return _cache[comp.name]
+    total = Resources()
+    widths = _WidthTable(program, comp)
+
+    # 1. Cells.
+    for cell in comp.cells.values():
+        if is_primitive(cell.comp_name):
+            total = total.add(primitive_cost(cell.comp_name, cell.args))
+        elif program.has_component(cell.comp_name):
+            sub = program.get_component(cell.comp_name)
+            total = total.add(component_resources(program, sub, _cache))
+        # extern cells without bodies are not charged (black-box RTL).
+
+    # 2. Multiplexing: every port with >1 driver pays (n-1) 2:1 muxes.
+    drivers: Dict[PortRef, int] = {}
+    for _, assign in comp.all_assignments():
+        if isinstance(assign.dst, HolePort):
+            continue
+        drivers[assign.dst] = drivers.get(assign.dst, 0) + 1
+    for dst, count in drivers.items():
+        total.charge("mux", luts=mux_cost(widths.width(dst), count))
+
+    # 3. Guard logic, deduplicated structurally.
+    guard_nodes: Set[Guard] = set()
+    for _, assign in comp.all_assignments():
+        _collect_guard_nodes(assign.guard, guard_nodes)
+    total.charge("guards", luts=guard_cost(len(guard_nodes)))
+
+    _cache[comp.name] = total
+    return total
+
+
+def estimate_resources(program: Program, entrypoint: str = None) -> Resources:
+    """Estimate resources of the design rooted at the entry component."""
+    comp = program.get_component(entrypoint or program.entrypoint)
+    return component_resources(program, comp, {})
+
+
+def count_register_cells(program: Program, entrypoint: str = None) -> int:
+    """Number of ``std_reg`` instances in the design (Figure 9b metric)."""
+    comp = program.get_component(entrypoint or program.entrypoint)
+    count = 0
+    for cell in comp.cells.values():
+        if cell.comp_name == "std_reg":
+            count += 1
+        elif program.has_component(cell.comp_name):
+            count += count_register_cells(program, cell.comp_name)
+    return count

@@ -1,0 +1,135 @@
+"""Command-line driver (the artifact's ``futil``/``fud`` equivalent).
+
+Subcommands::
+
+    calyx-py compile  FILE [-p PIPELINE] [--emit {calyx,verilog}]
+    calyx-py run      FILE [-p PIPELINE] [--mem NAME=v1,v2,...] [--interpret]
+    calyx-py resources FILE [-p PIPELINE]
+    calyx-py dahlia   FILE [--emit {calyx,verilog}] [-p PIPELINE]
+    calyx-py systolic N [--emit {calyx,verilog}] [-p PIPELINE]
+    calyx-py eval     {fig7,fig8,fig9,stats}
+
+``FILE`` is Calyx surface syntax (``.futil``) except for ``dahlia``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List
+
+from repro.backend import emit_verilog, estimate_resources
+from repro.frontends.dahlia import compile_dahlia
+from repro.frontends.systolic import SystolicConfig, generate_systolic_array
+from repro.ir import parse_program, print_program
+from repro.passes import PIPELINES, compile_program
+from repro.sim import run_program
+
+
+def _parse_mems(specs: List[str]) -> Dict[str, List[int]]:
+    mems: Dict[str, List[int]] = {}
+    for spec in specs:
+        name, _, values = spec.partition("=")
+        mems[name] = [int(v) for v in values.split(",") if v]
+    return mems
+
+
+def _emit(program, fmt: str) -> str:
+    if fmt == "verilog":
+        return emit_verilog(program)
+    return print_program(program)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="calyx-py", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p, with_pipeline=True):
+        if with_pipeline:
+            p.add_argument(
+                "-p",
+                "--pipeline",
+                default="all",
+                choices=sorted(PIPELINES),
+                help="pass pipeline to run",
+            )
+        p.add_argument(
+            "--emit",
+            default="calyx",
+            choices=["calyx", "verilog"],
+            help="output format",
+        )
+
+    p_compile = sub.add_parser("compile", help="compile a Calyx program")
+    p_compile.add_argument("file")
+    add_common(p_compile)
+
+    p_run = sub.add_parser("run", help="compile and simulate a Calyx program")
+    p_run.add_argument("file")
+    p_run.add_argument("-p", "--pipeline", default="all", choices=sorted(PIPELINES))
+    p_run.add_argument("--interpret", action="store_true", help="run unlowered")
+    p_run.add_argument("--mem", action="append", default=[], metavar="NAME=v1,v2")
+
+    p_res = sub.add_parser("resources", help="estimate resources")
+    p_res.add_argument("file")
+    p_res.add_argument("-p", "--pipeline", default="all", choices=sorted(PIPELINES))
+
+    p_dahlia = sub.add_parser("dahlia", help="compile a mini-Dahlia program")
+    p_dahlia.add_argument("file")
+    add_common(p_dahlia)
+
+    p_sys = sub.add_parser("systolic", help="generate a systolic array")
+    p_sys.add_argument("n", type=int)
+    add_common(p_sys)
+
+    p_eval = sub.add_parser("eval", help="regenerate a paper figure")
+    p_eval.add_argument("figure", choices=["fig7", "fig8", "fig9", "stats"])
+
+    args = parser.parse_args(argv)
+
+    if args.command == "compile":
+        program = parse_program(open(args.file).read())
+        compile_program(program, args.pipeline)
+        print(_emit(program, args.emit))
+    elif args.command == "run":
+        program = parse_program(open(args.file).read())
+        if not args.interpret:
+            compile_program(program, args.pipeline)
+        result = run_program(program, memories=_parse_mems(args.mem))
+        print(f"cycles: {result.cycles}")
+        for name, values in sorted(result.memories.items()):
+            print(f"{name} = {values}")
+    elif args.command == "resources":
+        program = parse_program(open(args.file).read())
+        compile_program(program, args.pipeline)
+        print(estimate_resources(program))
+    elif args.command == "dahlia":
+        design = compile_dahlia(open(args.file).read())
+        compile_program(design.program, args.pipeline)
+        print(_emit(design.program, args.emit))
+    elif args.command == "systolic":
+        program = generate_systolic_array(SystolicConfig.square(args.n))
+        compile_program(program, args.pipeline)
+        print(_emit(program, args.emit))
+    elif args.command == "eval":
+        if args.figure == "fig7":
+            from repro.eval import fig7_systolic
+
+            fig7_systolic.main()
+        elif args.figure == "fig8":
+            from repro.eval import fig8_polybench
+
+            fig8_polybench.main()
+        elif args.figure == "fig9":
+            from repro.eval import fig9_opts
+
+            fig9_opts.main()
+        else:
+            from repro.eval import table_stats
+
+            table_stats.main()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

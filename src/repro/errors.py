@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro (Calyx) toolchain.
+
+Every error raised by the library derives from :class:`CalyxError` so that
+callers can catch toolchain failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class CalyxError(Exception):
+    """Base class for all errors raised by the toolchain."""
+
+
+class ParseError(CalyxError):
+    """Raised when textual Calyx or Dahlia input is malformed.
+
+    Carries the source position when available.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class ValidationError(CalyxError):
+    """Raised when a program violates a well-formedness rule.
+
+    Examples: a port with multiple unconditional drivers, a reference to an
+    undefined cell, or mismatched port widths.
+    """
+
+
+class UndefinedError(ValidationError):
+    """A name (cell, group, port, component) is not defined."""
+
+
+class WidthError(ValidationError):
+    """An assignment or guard connects ports of different bit widths."""
+
+
+class MultipleDriverError(ValidationError):
+    """A port has more than one simultaneously active driver."""
+
+
+class PassError(CalyxError):
+    """Raised when a compiler pass cannot be applied to a program."""
+
+
+class SimulationError(CalyxError):
+    """Raised by the simulator, e.g. on combinational cycles or timeouts."""
+
+
+class CombinationalLoopError(SimulationError):
+    """The combinational fixpoint did not converge: a combinational cycle."""
+
+
+class TypeError_(CalyxError):
+    """Raised by the Dahlia type checker (avoids shadowing builtins)."""
+
+
+class LatencyError(CalyxError):
+    """Raised when static-latency information is inconsistent."""

@@ -1,0 +1,12 @@
+"""The evaluation harness: one runner per table/figure in the paper.
+
+Each module regenerates the rows/series of its figure and returns plain
+data structures; ``repro.eval.report`` renders them as text tables. The
+benchmark suite (``benchmarks/``) wraps these runners with
+pytest-benchmark so ``pytest benchmarks/ --benchmark-only`` reproduces the
+whole evaluation.
+"""
+
+from repro.eval.common import DesignMetrics, evaluate_dahlia_kernel, evaluate_systolic
+
+__all__ = ["DesignMetrics", "evaluate_dahlia_kernel", "evaluate_systolic"]

@@ -1,0 +1,2 @@
+"""DSL frontends targeting Calyx: the systolic array generator (Section
+6.1) and the mini-Dahlia compiler (Section 6.2)."""

@@ -1,0 +1,211 @@
+"""Abstract syntax for mini-Dahlia.
+
+A program is a list of memory declarations followed by a statement. The
+composition statements mirror Dahlia's novel operators: :class:`OrderedSeq`
+(``---``) imposes sequencing; :class:`UnorderedSeq` (``;``) permits
+parallel execution, which the Calyx backend exploits with ``par``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UBit:
+    """Unsigned integer of a fixed bit width: ``ubit<W>``."""
+
+    width: int
+
+    def __str__(self) -> str:
+        return f"ubit<{self.width}>"
+
+
+@dataclass
+class ArrayType:
+    """A memory: element type plus per-dimension (size, banking factor)."""
+
+    element: UBit
+    dims: List[Tuple[int, int]]  # (size, banks) per dimension
+
+    def __str__(self) -> str:
+        dims = "".join(
+            f"[{size} bank {banks}]" if banks > 1 else f"[{size}]"
+            for size, banks in self.dims
+        )
+        return f"{self.element}{dims}"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class; ``width`` is filled in by the type checker."""
+
+    def __post_init__(self) -> None:
+        self.width: Optional[int] = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+
+@dataclass
+class MemRead(Expr):
+    mem: str
+    indices: List[Expr]
+    bank: Optional[int] = None  # filled by the banking lowering
+
+
+@dataclass
+class BinOp(Expr):
+    op: str  # + - * / % << >> < > <= >= == !=
+    left: Expr
+    right: Expr
+
+
+COMPARISONS = ("<", ">", "<=", ">=", "==", "!=")
+MULTI_CYCLE_OPS = ("*", "/", "%")
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    pass
+
+
+@dataclass
+class Decl(Stmt):
+    """Top-level memory declaration: ``decl A: ubit<32>[8];``"""
+
+    name: str
+    type: ArrayType
+
+
+@dataclass
+class Let(Stmt):
+    """``let x: ubit<32> = e;`` — introduces a register-backed variable."""
+
+    name: str
+    type: Optional[UBit]
+    init: Expr
+
+
+@dataclass
+class AssignVar(Stmt):
+    name: str
+    value: Expr
+
+
+@dataclass
+class AssignMem(Stmt):
+    mem: str
+    indices: List[Expr]
+    value: Expr
+    bank: Optional[int] = None  # filled by the banking lowering
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    orelse: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class For(Stmt):
+    """``for (let i = a..b) unroll u { body }``"""
+
+    var: str
+    var_type: Optional[UBit]
+    start: int
+    end: int
+    unroll: int
+    body: Stmt
+
+
+@dataclass
+class OrderedSeq(Stmt):
+    """Dahlia's ``---``: statements execute in order."""
+
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class UnorderedSeq(Stmt):
+    """Dahlia's ``;``: statements may execute in parallel."""
+
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ParBlock(Stmt):
+    """Introduced by the unroller: bodies that run in parallel."""
+
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Program:
+    decls: List[Decl]
+    body: Stmt
+
+
+def walk_exprs(stmt: Stmt):
+    """Yield every expression in a statement subtree."""
+    if isinstance(stmt, Let):
+        yield from _walk_expr(stmt.init)
+    elif isinstance(stmt, AssignVar):
+        yield from _walk_expr(stmt.value)
+    elif isinstance(stmt, AssignMem):
+        for idx in stmt.indices:
+            yield from _walk_expr(idx)
+        yield from _walk_expr(stmt.value)
+    elif isinstance(stmt, If):
+        yield from _walk_expr(stmt.cond)
+        yield from walk_exprs(stmt.then)
+        if stmt.orelse is not None:
+            yield from walk_exprs(stmt.orelse)
+    elif isinstance(stmt, While):
+        yield from _walk_expr(stmt.cond)
+        yield from walk_exprs(stmt.body)
+    elif isinstance(stmt, For):
+        yield from walk_exprs(stmt.body)
+    elif isinstance(stmt, (OrderedSeq, UnorderedSeq, ParBlock)):
+        for child in stmt.stmts:
+            yield from walk_exprs(child)
+
+
+def _walk_expr(expr: Expr):
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from _walk_expr(expr.left)
+        yield from _walk_expr(expr.right)
+    elif isinstance(expr, MemRead):
+        for idx in expr.indices:
+            yield from _walk_expr(idx)

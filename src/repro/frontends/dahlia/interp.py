@@ -1,0 +1,210 @@
+"""Reference interpreter for mini-Dahlia (differential-testing oracle).
+
+Executes the *typechecked, pre-lowering* AST directly over Python lists,
+mirroring the hardware's width semantics: arithmetic happens at the
+destination width with wraparound, comparisons at the operands' natural
+width, and memory elements mask to their element width. Running the same
+kernel here and through the full Dahlia → Calyx → FSM → simulation flow
+and comparing memories validates the entire compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError, TypeError_
+from repro.frontends.dahlia.ast import (
+    AssignMem,
+    AssignVar,
+    BinOp,
+    COMPARISONS,
+    Expr,
+    For,
+    If,
+    IntLit,
+    Let,
+    MemRead,
+    OrderedSeq,
+    ParBlock,
+    Program,
+    Stmt,
+    UnorderedSeq,
+    VarRef,
+    While,
+)
+
+DEFAULT_WIDTH = 32
+
+
+def _mask(value: int, width: int) -> int:
+    return value & ((1 << width) - 1)
+
+
+class _Interp:
+    def __init__(self, program: Program, memories: Dict[str, List[int]]):
+        self.program = program
+        self.mem_types = {d.name: d.type for d in program.decls}
+        self.memories: Dict[str, List[int]] = {}
+        for decl in program.decls:
+            size = 1
+            for dim, _ in decl.type.dims:
+                size *= dim
+            init = memories.get(decl.name, [0] * size)
+            if len(init) != size:
+                raise SimulationError(
+                    f"memory {decl.name!r} holds {size} words, got {len(init)}"
+                )
+            width = decl.type.element.width
+            self.memories[decl.name] = [_mask(v, width) for v in init]
+        self.scopes: List[Dict[str, tuple]] = [{}]  # name -> (value, width)
+
+    # -- scope ------------------------------------------------------------
+    def lookup(self, name: str) -> tuple:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        raise TypeError_(f"undefined variable {name!r} (interp)")
+
+    def set_var(self, name: str, value: int) -> None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                _, width = scope[name]
+                scope[name] = (_mask(value, width), width)
+                return
+        raise TypeError_(f"assignment to undefined variable {name!r} (interp)")
+
+    # -- expressions ----------------------------------------------------------
+    def natural_width(self, expr: Expr) -> Optional[int]:
+        if isinstance(expr, IntLit):
+            return None
+        return getattr(expr, "width", None) or DEFAULT_WIDTH
+
+    def eval(self, expr: Expr, width: int) -> int:
+        if isinstance(expr, IntLit):
+            return _mask(expr.value, width)
+        if isinstance(expr, VarRef):
+            value, _ = self.lookup(expr.name)
+            return _mask(value, width)
+        if isinstance(expr, MemRead):
+            return _mask(self._mem_load(expr.mem, expr.indices), width)
+        if isinstance(expr, BinOp):
+            return self._eval_binop(expr, width)
+        raise TypeError_(f"cannot evaluate {expr!r}")
+
+    def _eval_binop(self, expr: BinOp, width: int) -> int:
+        if expr.op in COMPARISONS:
+            w = max(
+                self.natural_width(expr.left) or 1,
+                self.natural_width(expr.right) or 1,
+            )
+            left = self.eval(expr.left, w)
+            right = self.eval(expr.right, w)
+            result = {
+                "<": left < right,
+                ">": left > right,
+                "<=": left <= right,
+                ">=": left >= right,
+                "==": left == right,
+                "!=": left != right,
+            }[expr.op]
+            return _mask(int(result), width)
+        left = self.eval(expr.left, width)
+        right = self.eval(expr.right, width)
+        if expr.op == "+":
+            return _mask(left + right, width)
+        if expr.op == "-":
+            return _mask(left - right, width)
+        if expr.op == "*":
+            return _mask(left * right, width)
+        if expr.op == "/":
+            # Divide-by-zero mirrors the hardware divider: all ones.
+            return _mask(left // right if right else (1 << width) - 1, width)
+        if expr.op == "%":
+            return _mask(left % right if right else left, width)
+        if expr.op == "<<":
+            return _mask(left << min(right, width), width)
+        if expr.op == ">>":
+            return left >> min(right, width)
+        raise TypeError_(f"unknown operator {expr.op!r}")
+
+    # -- memory --------------------------------------------------------------
+    def _flat_index(self, mem: str, indices: List[Expr]) -> int:
+        type_ = self.mem_types[mem]
+        flat = 0
+        for (size, _), idx_expr in zip(type_.dims, indices):
+            idx_width = max(1, (size - 1).bit_length())
+            idx = self.eval(idx_expr, idx_width)
+            if idx >= size:
+                raise SimulationError(
+                    f"index {idx} out of bounds for memory {mem!r} (size {size})"
+                )
+            flat = flat * size + idx
+        return flat
+
+    def _mem_load(self, mem: str, indices: List[Expr]) -> int:
+        if mem not in self.memories:
+            raise TypeError_(f"undefined memory {mem!r} (interp)")
+        return self.memories[mem][self._flat_index(mem, indices)]
+
+    def _mem_store(self, mem: str, indices: List[Expr], value: int) -> None:
+        if mem not in self.memories:
+            raise TypeError_(f"undefined memory {mem!r} (interp)")
+        width = self.mem_types[mem].element.width
+        self.memories[mem][self._flat_index(mem, indices)] = _mask(value, width)
+
+    # -- statements -----------------------------------------------------------
+    def run(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Let):
+            assert stmt.type is not None
+            width = stmt.type.width
+            self.scopes[-1][stmt.name] = (self.eval(stmt.init, width), width)
+        elif isinstance(stmt, AssignVar):
+            _, width = self.lookup(stmt.name)
+            self.set_var(stmt.name, self.eval(stmt.value, width))
+        elif isinstance(stmt, AssignMem):
+            width = self.mem_types[stmt.mem].element.width
+            self._mem_store(stmt.mem, stmt.indices, self.eval(stmt.value, width))
+        elif isinstance(stmt, If):
+            if self.eval(stmt.cond, 1):
+                self._run_scoped(stmt.then)
+            elif stmt.orelse is not None:
+                self._run_scoped(stmt.orelse)
+        elif isinstance(stmt, While):
+            guard_count = 0
+            while self.eval(stmt.cond, 1):
+                self._run_scoped(stmt.body)
+                guard_count += 1
+                if guard_count > 10_000_000:
+                    raise SimulationError("while loop exceeded iteration bound")
+        elif isinstance(stmt, For):
+            width = stmt.var_type.width if stmt.var_type else DEFAULT_WIDTH
+            for i in range(stmt.start, stmt.end):
+                self.scopes.append({stmt.var: (_mask(i, width), width)})
+                self.run(stmt.body)
+                self.scopes.pop()
+        elif isinstance(stmt, (OrderedSeq, UnorderedSeq)):
+            # Unordered composition is not a lexical scope: lets escape.
+            # The type checker guarantees non-interference, so sequential
+            # execution is observationally equivalent.
+            for child in stmt.stmts:
+                self.run(child)
+        elif isinstance(stmt, ParBlock):
+            # Unrolled copies each declare their own locals.
+            for child in stmt.stmts:
+                self._run_scoped(child)
+        else:
+            raise TypeError_(f"cannot interpret {stmt!r}")
+
+    def _run_scoped(self, stmt: Stmt) -> None:
+        self.scopes.append({})
+        self.run(stmt)
+        self.scopes.pop()
+
+
+def interpret(
+    program: Program, memories: Optional[Dict[str, List[int]]] = None
+) -> Dict[str, List[int]]:
+    """Run a typechecked program; returns final memory contents."""
+    interp = _Interp(program, dict(memories or {}))
+    interp.run(program.body)
+    return interp.memories

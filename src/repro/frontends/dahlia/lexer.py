@@ -1,0 +1,71 @@
+"""Tokenizer for mini-Dahlia source text."""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.errors import ParseError
+
+TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>//[^\n]*|/\*.*?\*/)
+  | (?P<SEP>---)
+  | (?P<RANGE>\.\.)
+  | (?P<INT>\d+)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<OP>:=|<<|>>|<=|>=|==|!=|[{}()\[\];:=<>+\-*/%,])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+KEYWORDS = {
+    "decl",
+    "let",
+    "if",
+    "else",
+    "while",
+    "for",
+    "unroll",
+    "bank",
+    "ubit",
+}
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "column")
+
+    def __init__(self, kind: str, text: str, line: int, column: int):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, line {self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    line, col = 1, 1
+    pos = 0
+    while pos < len(source):
+        match = TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r}", line, col)
+        text = match.group(0)
+        kind = match.lastgroup or ""
+        if kind == "NAME" and text in KEYWORDS:
+            kind = "KEYWORD"
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, text, line, col))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, col))
+    return tokens

@@ -1,0 +1,6 @@
+"""The PE-parametric systolic array generator (paper Section 6.1)."""
+
+from repro.frontends.systolic.pe import mac_pe
+from repro.frontends.systolic.generator import SystolicConfig, generate_systolic_array
+
+__all__ = ["mac_pe", "SystolicConfig", "generate_systolic_array"]

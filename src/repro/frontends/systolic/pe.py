@@ -1,0 +1,50 @@
+"""Processing elements for the systolic array generator.
+
+The default PE is a multiply-accumulate (MAC) unit, the paper's example
+for matrix multiplication. Any Calyx component with ``top``/``left``
+inputs, an ``out`` output, and the go/done calling convention can serve as
+a PE — the generator is parametric in the PE (Section 6.1, "arbitrary PEs
+which are implemented as Calyx components themselves").
+
+The PE carries no ``"static"`` annotations; the compiler's latency
+inference (Section 5.3) derives them, which is what makes the whole array
+latency-sensitive for free.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import Builder, ComponentBuilder, seq
+from repro.ir.guards import NotGuard, PortGuard
+from repro.ir.types import Direction, PortDef
+
+
+def mac_pe(builder: Builder, name: str = "mac_pe", width: int = 32) -> ComponentBuilder:
+    """Define a multiply-accumulate PE component: ``acc += top * left``."""
+    pe = builder.component(
+        name,
+        inputs=[
+            PortDef("top", width, Direction.INPUT),
+            PortDef("left", width, Direction.INPUT),
+        ],
+        outputs=[PortDef("out", width, Direction.OUTPUT)],
+    )
+    acc = pe.reg("acc", width)
+    mul = pe.mult_pipe("mul", width)
+    add = pe.add("add", width)
+
+    with pe.group("do_mul") as do_mul:
+        do_mul.assign(mul.left, pe.this("top"))
+        do_mul.assign(mul.right, pe.this("left"))
+        do_mul.assign(mul.go, 1, guard=NotGuard(PortGuard(mul.done)))
+        do_mul.done(mul.done)
+
+    with pe.group("do_add") as do_add:
+        do_add.assign(add.left, acc.out)
+        do_add.assign(add.right, mul.out)
+        do_add.assign(acc.in_, add.out)
+        do_add.assign(acc.write_en, 1)
+        do_add.done(acc.done)
+
+    pe.continuous(pe.this("out"), acc.out)
+    pe.control = seq(do_mul, do_add)
+    return pe

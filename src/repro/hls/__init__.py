@@ -1,0 +1,17 @@
+"""An HLS-style scheduler: the stand-in for Vivado HLS (paper Section 7).
+
+The original Dahlia compiler emits annotated C++ for Vivado HLS; this
+package consumes the *same mini-Dahlia AST* as our Calyx backend and
+produces the two numbers the paper reports for HLS designs: a latency
+estimate (from static scheduling: loop pipelining with initiation
+intervals, or sequential FSM states when pipelining is off) and a resource
+estimate (from operator/memory allocation with the same cost tables as the
+Calyx resource model).
+
+See DESIGN.md for why this substitution preserves the paper's comparisons.
+"""
+
+from repro.hls.report import HlsReport
+from repro.hls.scheduler import HlsConfig, schedule_program
+
+__all__ = ["HlsReport", "HlsConfig", "schedule_program"]

@@ -1,0 +1,33 @@
+"""The HLS report: what Vivado HLS's synthesis report provides.
+
+The paper reads latency and resource estimates directly from HLS reports
+("For the HLS designs, we report the latency and resource estimates from
+the HLS report", Section 7.1); this dataclass is our equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.stdlib.costs import Resources
+
+
+@dataclass
+class HlsReport:
+    """Latency and resources of one HLS-compiled kernel."""
+
+    latency_cycles: int
+    resources: Resources = field(default_factory=Resources)
+    loop_info: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def luts(self) -> float:
+        return self.resources.luts
+
+    @property
+    def registers(self) -> int:
+        return self.resources.registers
+
+    def __str__(self) -> str:
+        return f"HLS: {self.latency_cycles} cycles, {self.resources}"

@@ -1,0 +1,82 @@
+"""The Calyx intermediate language (IL).
+
+This package defines the program representation described in Section 3 of
+the paper: components made of *cells*, *wires* (guarded assignments grouped
+into *groups*), and a *control* program, plus the textual parser/printer and
+a builder API used by frontends.
+"""
+
+from repro.ir.attributes import Attributes
+from repro.ir.types import PortDef, Direction
+from repro.ir.guards import (
+    Guard,
+    TrueGuard,
+    PortGuard,
+    NotGuard,
+    AndGuard,
+    OrGuard,
+    CmpGuard,
+    G_TRUE,
+)
+from repro.ir.ast import (
+    Assignment,
+    Cell,
+    CellPort,
+    Component,
+    ConstPort,
+    Group,
+    HolePort,
+    PortRef,
+    Program,
+    ThisPort,
+)
+from repro.ir.control import (
+    Control,
+    Empty,
+    Enable,
+    If,
+    Invoke,
+    Par,
+    Seq,
+    While,
+)
+from repro.ir.builder import Builder, ComponentBuilder, GroupBuilder
+from repro.ir.parser import parse_program
+from repro.ir.printer import print_program
+
+__all__ = [
+    "Attributes",
+    "PortDef",
+    "Direction",
+    "Guard",
+    "TrueGuard",
+    "PortGuard",
+    "NotGuard",
+    "AndGuard",
+    "OrGuard",
+    "CmpGuard",
+    "G_TRUE",
+    "Assignment",
+    "Cell",
+    "CellPort",
+    "Component",
+    "ConstPort",
+    "Group",
+    "HolePort",
+    "PortRef",
+    "Program",
+    "ThisPort",
+    "Control",
+    "Empty",
+    "Enable",
+    "If",
+    "Invoke",
+    "Par",
+    "Seq",
+    "While",
+    "Builder",
+    "ComponentBuilder",
+    "GroupBuilder",
+    "parse_program",
+    "print_program",
+]

@@ -1,0 +1,85 @@
+"""Attributes: key-value metadata on IL constructs (paper Section 3.5).
+
+Attributes carry frontend- and pass-specific information, such as the
+``"static"`` latency of a group or the ``"share"`` marker on a component.
+They behave like a small string-to-int mapping with a convenient textual
+form: ``<"static"=1, "share"=1>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional
+
+# Well-known attribute names used throughout the compiler.
+STATIC = "static"
+SHARE = "share"
+LATENCY = "latency"
+EXTERNAL = "external"
+TOP_LEVEL = "toplevel"
+
+
+class Attributes:
+    """An ordered mapping from attribute names to integer values."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Optional[Mapping[str, int]] = None):
+        self._entries: Dict[str, int] = dict(entries or {})
+
+    def get(self, key: str, default: Optional[int] = None) -> Optional[int]:
+        """Return the value bound to ``key``, or ``default`` when absent."""
+        return self._entries.get(key, default)
+
+    def set(self, key: str, value: int) -> None:
+        """Bind ``key`` to ``value``, replacing any previous binding."""
+        self._entries[key] = int(value)
+
+    def remove(self, key: str) -> None:
+        """Delete ``key`` if present; absent keys are ignored."""
+        self._entries.pop(key, None)
+
+    def has(self, key: str) -> bool:
+        return key in self._entries
+
+    def copy(self) -> "Attributes":
+        return Attributes(self._entries)
+
+    def items(self):
+        return self._entries.items()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __getitem__(self, key: str) -> int:
+        return self._entries[key]
+
+    def __setitem__(self, key: str, value: int) -> None:
+        self.set(key, value)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attributes):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        return f"Attributes({self._entries!r})"
+
+    def to_string(self) -> str:
+        """Render as Calyx surface syntax: ``<"key"=value, ...>``.
+
+        Returns an empty string when there are no attributes so callers can
+        splice the result directly after a name.
+        """
+        if not self._entries:
+            return ""
+        inner = ", ".join(f'"{k}"={v}' for k, v in self._entries.items())
+        return f"<{inner}>"

@@ -1,0 +1,61 @@
+"""Port definitions and directions for component signatures."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import ValidationError
+from repro.ir.attributes import Attributes
+
+
+class Direction(enum.Enum):
+    """Direction of a port relative to the component that declares it."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+    def flip(self) -> "Direction":
+        return Direction.OUTPUT if self is Direction.INPUT else Direction.INPUT
+
+
+class PortDef:
+    """A named, fixed-width port in a component signature.
+
+    Ports in Calyx are *untyped*: they hold any value of the given bit width
+    (paper Section 3.1). Width must be a positive integer.
+    """
+
+    __slots__ = ("name", "width", "direction", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        width: int,
+        direction: Direction,
+        attributes: Optional[Attributes] = None,
+    ):
+        if width <= 0:
+            raise ValidationError(f"port {name!r} must have positive width, got {width}")
+        self.name = name
+        self.width = int(width)
+        self.direction = direction
+        self.attributes = attributes or Attributes()
+
+    def copy(self) -> "PortDef":
+        return PortDef(self.name, self.width, self.direction, self.attributes.copy())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PortDef):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.width == other.width
+            and self.direction == other.direction
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.width, self.direction))
+
+    def __repr__(self) -> str:
+        return f"PortDef({self.name!r}, {self.width}, {self.direction.value})"

@@ -1,0 +1,73 @@
+"""Pass framework: the base class, registry, and pass manager."""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Type
+
+from repro.errors import PassError
+from repro.ir.ast import Component, Program
+
+
+class Pass:
+    """Base class for compiler passes.
+
+    Subclasses set ``name`` and ``description`` and override either
+    :meth:`run_component` (per-component rewrites; the common case) or
+    :meth:`run` (whole-program passes).
+    """
+
+    name: str = "<unnamed>"
+    description: str = ""
+
+    def run(self, program: Program) -> None:
+        for comp in program.components:
+            self.run_component(program, comp)
+
+    def run_component(self, program: Program, comp: Component) -> None:
+        raise NotImplementedError(
+            f"pass {self.name!r} implements neither run nor run_component"
+        )
+
+
+_REGISTRY: Dict[str, Type[Pass]] = {}
+
+
+def register_pass(cls: Type[Pass]) -> Type[Pass]:
+    """Class decorator adding a pass to the global registry."""
+    if cls.name in _REGISTRY:
+        raise PassError(f"duplicate pass name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_pass(name: str) -> Pass:
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise PassError(
+            f"unknown pass {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def all_pass_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+class PassManager:
+    """Runs a sequence of passes, recording wall-clock timings."""
+
+    def __init__(self, pass_names: List[str]):
+        self.pass_names = list(pass_names)
+        self.timings: List[tuple] = []
+
+    def run(self, program: Program) -> Program:
+        for name in self.pass_names:
+            pass_ = get_pass(name)
+            start = time.perf_counter()
+            pass_.run(program)
+            self.timings.append((name, time.perf_counter() - start))
+        return program
+
+    def total_seconds(self) -> float:
+        return sum(elapsed for _, elapsed in self.timings)

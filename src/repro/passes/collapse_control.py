@@ -1,0 +1,46 @@
+"""CollapseControl: flatten trivially nested control.
+
+``seq { seq { a; b } c }`` becomes ``seq { a; b; c }`` (same for ``par``),
+single-child ``seq``/``par`` unwrap to the child, and ``Empty`` children
+are dropped. This mirrors the real compiler's collapse-control cleanup and
+reduces FSM states in CompileControl.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir.ast import Component, Program
+from repro.ir.control import Control, Empty, Par, Seq, map_control
+from repro.passes.base import Pass, register_pass
+
+
+def _collapse(node: Control) -> Optional[Control]:
+    if isinstance(node, (Seq, Par)):
+        flat: List[Control] = []
+        for child in node.children():
+            if isinstance(child, Empty):
+                continue
+            if type(child) is type(node) and not child.attributes:
+                flat.extend(child.children())
+            else:
+                flat.append(child)
+        if not flat:
+            return Empty()
+        if len(flat) == 1 and not node.attributes:
+            return flat[0]
+        node.replace_children(flat)
+    return None
+
+
+def collapse_control(node: Control) -> Control:
+    return map_control(node, _collapse)
+
+
+@register_pass
+class CollapseControl(Pass):
+    name = "collapse-control"
+    description = "flatten nested seq/par and drop empty statements"
+
+    def run_component(self, program: Program, comp: Component) -> None:
+        comp.control = collapse_control(comp.control)

@@ -1,0 +1,57 @@
+"""CompileInvoke: lower ``invoke`` statements to groups.
+
+An invoke becomes a group that drives the bindings, pulses the callee's
+``go`` (gated by ``!done``), and finishes on the callee's ``done`` — the
+go/done calling convention of Section 4.1. When the callee has a
+``"static"`` latency the group inherits it, so invokes participate in
+latency-sensitive compilation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.latency import component_latency
+from repro.ir.ast import Assignment, CellPort, Component, ConstPort, Group, Program
+from repro.ir.attributes import STATIC
+from repro.ir.control import Control, Enable, Invoke, map_control
+from repro.ir.guards import NotGuard, PortGuard
+from repro.ir.ports import DONE, GO
+from repro.passes.base import Pass, register_pass
+
+
+def compile_invoke(program: Program, comp: Component, node: Invoke) -> Enable:
+    """Synthesize the calling-convention group for one invoke."""
+    name = comp.gen_name(f"invoke_{node.cell}_")
+    group = Group(name)
+    cell_done = CellPort(node.cell, DONE)
+    for port, src in node.in_binds.items():
+        group.assignments.append(Assignment(CellPort(node.cell, port), src))
+    for port, dst in node.out_binds.items():
+        group.assignments.append(Assignment(dst, CellPort(node.cell, port)))
+    group.assignments.append(
+        Assignment(CellPort(node.cell, GO), ConstPort(1, 1), NotGuard(PortGuard(cell_done)))
+    )
+    group.assignments.append(
+        Assignment(group.done, ConstPort(1, 1), PortGuard(cell_done))
+    )
+    cell = comp.get_cell(node.cell)
+    latency = component_latency(program, cell.comp_name)
+    if latency is not None:
+        group.attributes.set(STATIC, latency)
+    comp.add_group(group)
+    return Enable(name, node.attributes.copy())
+
+
+@register_pass
+class CompileInvoke(Pass):
+    name = "compile-invoke"
+    description = "lower invoke statements to calling-convention groups"
+
+    def run_component(self, program: Program, comp: Component) -> None:
+        def rewrite(node: Control) -> Optional[Control]:
+            if isinstance(node, Invoke):
+                return compile_invoke(program, comp, node)
+            return None
+
+        comp.control = map_control(comp.control, rewrite)

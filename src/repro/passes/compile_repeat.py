@@ -1,0 +1,102 @@
+"""CompileRepeat: desugar the first-class ``repeat`` operator.
+
+Demonstrates the paper's Section 9 claim that higher-level control
+operators can be "compiled into more primitive control operators, which
+lets the Calyx IL and compiler incrementally add support for new
+operators":
+
+* ``repeat 0 { .. }``       → ``empty``
+* ``repeat 1 { body }``     → ``body``
+* ``repeat n { body }``     → ``seq { body; ...; body }`` when ``n`` is at
+  most :data:`UNROLL_LIMIT` — keeping a static body statically
+  compilable, so a repeated static region costs exactly ``n x latency``
+  cycles under the ``Sensitive`` pass;
+* larger bounds synthesize a counter register, an increment adder, a
+  comparison cell, and a condition group, then lower to ``while`` — the
+  ordinary latency-insensitive path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.ast import Assignment, Cell, CellPort, Component, ConstPort, Group, Program
+from repro.ir.control import Control, Empty, Enable, Repeat, Seq, While, map_control
+from repro.passes.base import Pass, register_pass
+
+#: Bounds up to this many iterations unroll into ``seq``.
+UNROLL_LIMIT = 16
+
+
+def _counter_while(comp: Component, node: Repeat) -> Control:
+    width = max(1, node.times.bit_length())
+    counter = Cell(comp.gen_name("rep_idx"), "std_reg", (width,))
+    incr = Cell(comp.gen_name("rep_add"), "std_add", (width,))
+    cmp_cell = Cell(comp.gen_name("rep_lt"), "std_lt", (width,))
+    comp.add_cell(counter)
+    comp.add_cell(incr)
+    comp.add_cell(cmp_cell)
+
+    init = Group(comp.gen_name("rep_init"))
+    init.assignments.append(
+        Assignment(CellPort(counter.name, "in"), ConstPort(width, 0))
+    )
+    init.assignments.append(
+        Assignment(CellPort(counter.name, "write_en"), ConstPort(1, 1))
+    )
+    init.assignments.append(
+        Assignment(init.done, CellPort(counter.name, "done"))
+    )
+    comp.add_group(init)
+
+    cond = Group(comp.gen_name("rep_cond"))
+    cond.assignments.append(
+        Assignment(CellPort(cmp_cell.name, "left"), CellPort(counter.name, "out"))
+    )
+    cond.assignments.append(
+        Assignment(CellPort(cmp_cell.name, "right"), ConstPort(width, node.times))
+    )
+    cond.assignments.append(Assignment(cond.done, ConstPort(1, 1)))
+    comp.add_group(cond)
+
+    bump = Group(comp.gen_name("rep_incr"))
+    bump.assignments.append(
+        Assignment(CellPort(incr.name, "left"), CellPort(counter.name, "out"))
+    )
+    bump.assignments.append(
+        Assignment(CellPort(incr.name, "right"), ConstPort(width, 1))
+    )
+    bump.assignments.append(
+        Assignment(CellPort(counter.name, "in"), CellPort(incr.name, "out"))
+    )
+    bump.assignments.append(
+        Assignment(CellPort(counter.name, "write_en"), ConstPort(1, 1))
+    )
+    bump.assignments.append(
+        Assignment(bump.done, CellPort(counter.name, "done"))
+    )
+    comp.add_group(bump)
+
+    body = Seq([node.body, Enable(bump.name)])
+    loop = While(CellPort(cmp_cell.name, "out"), cond.name, body)
+    return Seq([Enable(init.name), loop])
+
+
+@register_pass
+class CompileRepeat(Pass):
+    name = "compile-repeat"
+    description = "desugar repeat into seq (small bounds) or while"
+
+    def run_component(self, program: Program, comp: Component) -> None:
+        def rewrite(node: Control) -> Optional[Control]:
+            if not isinstance(node, Repeat):
+                return None
+            if node.times == 0 or isinstance(node.body, Empty):
+                return Empty()
+            if node.times == 1:
+                return node.body
+            if node.times <= UNROLL_LIMIT:
+                return Seq([node.body.copy() for _ in range(node.times)])
+            return _counter_while(comp, node)
+
+        comp.control = map_control(comp.control, rewrite)

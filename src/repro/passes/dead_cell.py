@@ -1,0 +1,42 @@
+"""DeadCellRemoval: delete cells no assignment or invoke references.
+
+Runs after the sharing passes to reclaim the cells they made redundant
+(the paper's sharing transformations leave orphaned components behind).
+External (``@external``) cells are kept: the testbench owns them.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.ast import CellPort, Component, Program
+from repro.ir.control import Invoke
+from repro.passes.base import Pass, register_pass
+
+
+def used_cell_names(comp: Component) -> Set[str]:
+    used: Set[str] = set()
+    for _, assign in comp.all_assignments():
+        for ref in assign.ports():
+            if isinstance(ref, CellPort):
+                used.add(ref.cell)
+    for node in comp.control.walk():
+        if isinstance(node, Invoke):
+            used.add(node.cell)
+            for ref in list(node.in_binds.values()) + list(node.out_binds.values()):
+                if isinstance(ref, CellPort):
+                    used.add(ref.cell)
+    return used
+
+
+@register_pass
+class DeadCellRemoval(Pass):
+    name = "dead-cell-removal"
+    description = "remove cells with no remaining references"
+
+    def run_component(self, program: Program, comp: Component) -> None:
+        used = used_cell_names(comp)
+        for name in list(comp.cells):
+            cell = comp.cells[name]
+            if name not in used and not cell.external:
+                comp.remove_cell(name)

@@ -1,0 +1,44 @@
+"""GoInsertion (paper Section 4.2).
+
+Guards every assignment inside a group with the group's own ``go`` hole —
+except writes to the group's own ``done`` hole, which stay live so parents
+can observe completion (exactly Figure 2b of the paper). When all groups
+are eventually removed, these guards ensure only the scheduled assignments
+are active.
+
+The pass is marked on each group with the internal ``go_inserted``
+attribute so it can run safely after passes that synthesize pre-guarded
+groups (e.g. CompileControl).
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast import Component, Group, HolePort, Program
+from repro.ir.guards import PortGuard
+from repro.ir.ports import DONE
+from repro.passes.base import Pass, register_pass
+
+GO_INSERTED = "go_inserted"
+
+
+def insert_go(group: Group) -> None:
+    """Apply go-insertion to one group (idempotent via the marker)."""
+    if group.attributes.has(GO_INSERTED) or group.comb:
+        return
+    go_guard = PortGuard(group.go)
+    for assign in group.assignments:
+        dst = assign.dst
+        if isinstance(dst, HolePort) and dst.group == group.name and dst.port == DONE:
+            continue
+        assign.guard = go_guard.and_(assign.guard)
+    group.attributes.set(GO_INSERTED, 1)
+
+
+@register_pass
+class GoInsertion(Pass):
+    name = "go-insertion"
+    description = "guard group assignments with the group's go signal"
+
+    def run_component(self, program: Program, comp: Component) -> None:
+        for group in comp.groups.values():
+            insert_go(group)

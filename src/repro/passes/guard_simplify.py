@@ -1,0 +1,57 @@
+"""GuardSimplify: boolean simplification of assignment guards.
+
+Applies local rewrites — constant folding (``1 & g -> g``), double
+negation, and idempotence (``g & g -> g``, ``g | g -> g``) — shrinking the
+guard logic the resource estimator charges for.
+"""
+
+from __future__ import annotations
+
+from repro.ir.ast import Component, Program
+from repro.ir.guards import (
+    G_TRUE,
+    AndGuard,
+    Guard,
+    NotGuard,
+    OrGuard,
+    TrueGuard,
+)
+from repro.passes.base import Pass, register_pass
+
+
+def simplify_guard(guard: Guard) -> Guard:
+    """Bottom-up simplification; returns a (possibly shared) new guard."""
+    if isinstance(guard, NotGuard):
+        inner = simplify_guard(guard.inner)
+        if isinstance(inner, NotGuard):
+            return inner.inner
+        return NotGuard(inner)
+    if isinstance(guard, AndGuard):
+        left = simplify_guard(guard.left)
+        right = simplify_guard(guard.right)
+        if isinstance(left, TrueGuard):
+            return right
+        if isinstance(right, TrueGuard):
+            return left
+        if left == right:
+            return left
+        return AndGuard(left, right)
+    if isinstance(guard, OrGuard):
+        left = simplify_guard(guard.left)
+        right = simplify_guard(guard.right)
+        if isinstance(left, TrueGuard) or isinstance(right, TrueGuard):
+            return G_TRUE
+        if left == right:
+            return left
+        return OrGuard(left, right)
+    return guard
+
+
+@register_pass
+class GuardSimplify(Pass):
+    name = "guard-simplify"
+    description = "boolean simplification of guards"
+
+    def run_component(self, program: Program, comp: Component) -> None:
+        for _, assign in comp.all_assignments():
+            assign.guard = simplify_guard(assign.guard)

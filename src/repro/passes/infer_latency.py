@@ -1,0 +1,102 @@
+"""InferStaticTiming (paper Section 5.3): conservative latency inference.
+
+The group rule, straight from the paper: *if a group's done signal is
+equal to a component's done signal, and the component's go signal is set
+to 1 within the group, the latency of the group is inferred to be the same
+as the component's*. For registers and memories, the write-enable port
+plays the role of ``go``.
+
+On top of the group rule, the pass infers *component* latencies: when a
+component's control tree has a computable static latency (all groups
+static, composed by seq/sum and par/max), the component gains a
+``"static"`` attribute. Iterating to a fixpoint propagates latencies up
+instantiation chains — this is how a systolic array with no annotations at
+all becomes fully static once its processing element declares (or is
+inferred to have) a latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.latency import component_latency, control_latency
+from repro.ir.ast import CellPort, Component, ConstPort, Group, HolePort, Program
+from repro.ir.attributes import STATIC
+from repro.ir.ports import DONE
+from repro.passes.base import Pass, register_pass
+
+#: Ports that act as a "go" signal, per primitive interface style.
+_GO_PORTS = ("go", "write_en")
+
+
+def infer_group_latency(program: Program, comp: Component, group: Group) -> Optional[int]:
+    """Apply the paper's rule to one group; returns the latency or None."""
+    if group.attributes.has(STATIC):
+        return group.attributes.get(STATIC)
+    done_writes = group.done_assignments()
+    if len(done_writes) != 1:
+        return None
+    done = done_writes[0]
+    # The done must mirror a single cell's done port, unconditionally or
+    # guarded by that same port.
+    src = done.src
+    if isinstance(src, CellPort) and src.port == DONE:
+        cell_name = src.cell
+    elif isinstance(src, ConstPort) and src.value == 1:
+        # Pattern: ``g[done] = cell.done ? 1`` — guard names the cell.
+        from repro.ir.guards import PortGuard
+
+        if not (
+            isinstance(done.guard, PortGuard)
+            and isinstance(done.guard.port, CellPort)
+            and done.guard.port.port == DONE
+        ):
+            return None
+        cell_name = done.guard.port.cell
+    else:
+        return None
+
+    if cell_name not in comp.cells:
+        return None
+    cell = comp.cells[cell_name]
+    latency = component_latency(program, cell.comp_name)
+    if latency is None:
+        return None
+
+    # The cell's go (or write_en) must be driven high within the group.
+    for assign in group.assignments:
+        dst = assign.dst
+        if (
+            isinstance(dst, CellPort)
+            and dst.cell == cell_name
+            and dst.port in _GO_PORTS
+            and isinstance(assign.src, ConstPort)
+            and assign.src.value == 1
+        ):
+            return latency
+    return None
+
+
+@register_pass
+class InferLatency(Pass):
+    name = "infer-latency"
+    description = "infer static latencies for simple groups and components"
+
+    def run(self, program: Program) -> None:
+        for _ in range(len(program.components) + 1):
+            changed = False
+            for comp in program.components:
+                for group in comp.groups.values():
+                    if group.attributes.has(STATIC) or group.comb:
+                        continue
+                    latency = infer_group_latency(program, comp, group)
+                    if latency is not None:
+                        group.attributes.set(STATIC, latency)
+                        changed = True
+                if not comp.attributes.has(STATIC):
+                    total = control_latency(program, comp, comp.control)
+                    if total is not None and total > 0:
+                        comp.attributes.set(STATIC, total)
+                        changed = True
+            if not changed:
+                break

@@ -1,0 +1,18 @@
+"""Well-formedness validation as a pass (runs the checks of ir.validate)."""
+
+from __future__ import annotations
+
+from repro.ir.ast import Program
+from repro.ir.validate import validate_program
+from repro.passes.base import Pass, register_pass
+
+
+@register_pass
+class WellFormed(Pass):
+    """Reject malformed programs before any transformation."""
+
+    name = "well-formed"
+    description = "validate port references, widths, drivers, and control"
+
+    def run(self, program: Program) -> None:
+        validate_program(program)

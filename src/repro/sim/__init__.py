@@ -1,0 +1,26 @@
+"""Cycle-accurate simulation of Calyx programs (the Verilator substitute).
+
+The simulator implements RTL semantics: each clock cycle, guarded
+assignments and primitive combinational functions are evaluated to a
+fixpoint (the *settle* phase), then stateful primitives latch their inputs
+(the *tick*). It executes programs at every stage of compilation:
+
+* **unlowered** programs (with groups and a control tree) run through a
+  built-in control executor that mirrors the semantics of Section 3.4, and
+* **lowered** programs (flat guarded assignments, control realized as FSM
+  registers) run purely structurally — this is what the paper measures
+  with Verilator, and what the benchmark harness measures here.
+
+Differential testing between the two modes validates the compiler.
+"""
+
+from repro.sim.model import ComponentInstance, eval_guard
+from repro.sim.testbench import Testbench, SimulationResult, run_program
+
+__all__ = [
+    "ComponentInstance",
+    "eval_guard",
+    "Testbench",
+    "SimulationResult",
+    "run_program",
+]

@@ -1,0 +1,739 @@
+"""The simulation model: component instances and the control executor.
+
+A :class:`ComponentInstance` simulates one instantiation of a component.
+It exposes the same protocol as a primitive model — ``comb`` (combinational
+outputs from inputs) and ``tick`` (clock edge) — so hierarchy falls out
+naturally: a component's cells are primitive models or nested component
+instances, and a parent's settle loop iterates its children to a joint
+fixpoint.
+
+Group activation follows the paper's semantics: a group's assignments are
+evaluated only while its ``go`` hole is high. The ``go`` hole is high when
+the control executor enables the group *or* when another (active) group's
+assignment drives it — the latter is how programs behave after the
+``CompileControl`` pass wires go/done signals structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import (
+    CombinationalLoopError,
+    MultipleDriverError,
+    SimulationError,
+    UndefinedError,
+)
+from repro.ir.ast import (
+    Assignment,
+    CellPort,
+    Component,
+    ConstPort,
+    Group,
+    HolePort,
+    PortRef,
+    Program,
+    ThisPort,
+)
+from repro.ir.control import (
+    Control,
+    Empty,
+    Enable,
+    If,
+    Invoke,
+    Par,
+    Repeat,
+    Seq,
+    While,
+)
+from repro.ir.guards import (
+    AndGuard,
+    CmpGuard,
+    Guard,
+    NotGuard,
+    OrGuard,
+    PortGuard,
+    TrueGuard,
+)
+from repro.ir.ports import DONE, GO
+from repro.ir.types import Direction
+from repro.stdlib.behaviors import PrimitiveModel, make_model
+
+ReadFn = Callable[[PortRef], int]
+
+
+def eval_guard(guard: Guard, read: ReadFn) -> bool:
+    """Evaluate a guard against a net-reading function."""
+    if isinstance(guard, TrueGuard):
+        return True
+    if isinstance(guard, PortGuard):
+        return read(guard.port) != 0
+    if isinstance(guard, NotGuard):
+        return not eval_guard(guard.inner, read)
+    if isinstance(guard, AndGuard):
+        return eval_guard(guard.left, read) and eval_guard(guard.right, read)
+    if isinstance(guard, OrGuard):
+        return eval_guard(guard.left, read) or eval_guard(guard.right, read)
+    if isinstance(guard, CmpGuard):
+        left, right = read(guard.left), read(guard.right)
+        if guard.op == "==":
+            return left == right
+        if guard.op == "!=":
+            return left != right
+        if guard.op == "<":
+            return left < right
+        if guard.op == ">":
+            return left > right
+        if guard.op == "<=":
+            return left <= right
+        return left >= right
+    raise SimulationError(f"cannot evaluate guard {guard!r}")
+
+
+class PrimitiveInstance:
+    """Adapter giving primitive models the child-instance protocol."""
+
+    def __init__(self, model: PrimitiveModel, input_ports: List[str]):
+        self.model = model
+        self.input_ports = input_ports
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        return self.model.comb(inputs)
+
+    def tick(self, inputs: Dict[str, int]) -> None:
+        self.model.tick(inputs)
+
+    def reset(self) -> None:
+        self.model.reset()
+
+
+class ComponentInstance:
+    """A simulated instantiation of a component (primitive protocol)."""
+
+    def __init__(self, program: Program, comp: Component, path: str = "main"):
+        self.program = program
+        self.comp = comp
+        self.path = path
+        self.nets: Dict[PortRef, int] = {}
+        self.children: Dict[str, object] = {}
+        self._child_inputs: Dict[str, List[str]] = {}
+        self.input_ports = [p.name for p in comp.inputs]
+
+        for cell in comp.cells.values():
+            child = self._make_child(cell)
+            self.children[cell.name] = child
+            sig = program.cell_signature(cell)
+            self._child_inputs[cell.name] = [
+                p.name for p in sig.values() if p.direction is Direction.INPUT
+            ]
+
+        # True when wires drive this component's done port directly (the
+        # lowered form); the executor then must not drive it.
+        self._done_from_wires = any(
+            isinstance(a.dst, ThisPort) and a.dst.port == DONE
+            for _, a in comp.all_assignments()
+        )
+        self.executor = ControlExecutor(self, comp.control)
+        # All destinations any assignment can drive: undriven ones read 0.
+        # Every group's go hole is included so that groups leaving the
+        # active set release their assignments.
+        self._all_dsts: Set[PortRef] = {
+            a.dst for _, a in comp.all_assignments()
+        } | set(self.executor.extra_dsts()) | {
+            HolePort(name, GO) for name in comp.groups
+        }
+        self._max_iters = 8 * (
+            len(list(comp.all_assignments())) + len(self.children) + 8
+        )
+        self._go_was_high = False
+
+    def _make_child(self, cell) -> object:
+        name = cell.comp_name
+        if self.program.has_component(name):
+            target = self.program.get_component(name)
+            # Extern components have no body; they need a registered model.
+            if target.cells or target.groups or target.continuous or not target.control.is_empty():
+                return ComponentInstance(self.program, target, f"{self.path}.{cell.name}")
+            is_extern = any(
+                any(c.name == name for c in e.components) for e in self.program.externs
+            )
+            if is_extern:
+                return PrimitiveInstance(
+                    make_model(name, cell.args),
+                    [p.name for p in target.inputs],
+                )
+            return ComponentInstance(self.program, target, f"{self.path}.{cell.name}")
+        sig = self.program.cell_signature(cell)
+        inputs = [p.name for p in sig.values() if p.direction is Direction.INPUT]
+        return PrimitiveInstance(make_model(name, cell.args), inputs)
+
+    # -- net access -----------------------------------------------------
+    def read(self, ref: PortRef) -> int:
+        if isinstance(ref, ConstPort):
+            return ref.value
+        return self.nets.get(ref, 0)
+
+    def _set(self, ref: PortRef, value: int) -> bool:
+        if self.nets.get(ref, 0) != value:
+            self.nets[ref] = value
+            return True
+        return False
+
+    # -- the primitive protocol --------------------------------------------
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        for name, value in inputs.items():
+            self.nets[ThisPort(name)] = value
+        self.settle()
+        return {p.name: self.read(ThisPort(p.name)) for p in self.comp.outputs}
+
+    def tick(self, inputs: Dict[str, int]) -> None:
+        for name, value in inputs.items():
+            self.nets[ThisPort(name)] = value
+        self.settle()
+        self.step_edge()
+
+    def reset(self) -> None:
+        self.nets.clear()
+        self.executor.reset()
+        for child in self.children.values():
+            child.reset()
+        self._go_was_high = False
+
+    # -- simulation core ----------------------------------------------------
+    def _running(self) -> bool:
+        return self.read(ThisPort(GO)) != 0
+
+    def settle(self) -> None:
+        """Evaluate combinational logic to a fixpoint (one clock phase).
+
+        Group activation follows the semantics GoInsertion + CompileControl
+        realize structurally: a group's done-hole writes are always live,
+        and an executor-enabled group's ``go`` is high only while its done
+        hole is low (preventing the double-commit hazard on registered
+        ``done`` signals). Condition groups of ``if``/``while`` are forced
+        active during the condition phase regardless of their done value.
+        """
+        running = self._running()
+        active = self.executor.active_groups() if running else set()
+        forced = self.executor.forced_groups() if running else set()
+        assigns = self._collect_assignments(active)
+        read = self.read
+        for _ in range(self._max_iters):
+            changed = False
+            # 1. Child combinational outputs from current input nets.
+            for name, child in self.children.items():
+                ins = {
+                    port: self.nets.get(CellPort(name, port), 0)
+                    for port in self._child_inputs[name]
+                }
+                for port, value in child.comb(ins).items():
+                    changed |= self._set(CellPort(name, port), value)
+            # 2. Guarded assignments: compute the driven value per dst.
+            driven: Dict[PortRef, Tuple[int, Assignment]] = {}
+            for gate_group, assign in assigns:
+                if gate_group is not None and self.nets.get(
+                    HolePort(gate_group, GO), 0
+                ) == 0:
+                    continue
+                if eval_guard(assign.guard, read):
+                    value = read(assign.src)
+                    prev = driven.get(assign.dst)
+                    if prev is not None and prev[0] != value:
+                        raise MultipleDriverError(
+                            f"{self.path}: port {assign.dst.to_string()} driven "
+                            f"to both {prev[0]} and {value} by\n  "
+                            f"{prev[1].to_string()}\n  {assign.to_string()}"
+                        )
+                    driven[assign.dst] = (value, assign)
+            # 3. Commit: undriven destinations fall to 0; the executor
+            #    drives go holes of enabled groups (gated by their done).
+            for dst in self._all_dsts:
+                value = driven[dst][0] if dst in driven else 0
+                if isinstance(dst, HolePort) and dst.port == GO:
+                    if dst.group in forced:
+                        value = 1
+                    elif dst.group in active:
+                        done_now = self.nets.get(HolePort(dst.group, DONE), 0)
+                        value = 0 if done_now else 1
+                changed |= self._set(dst, value)
+            # 4. The executor drives done when control completes (unlowered
+            #    programs only). The value depends only on latched executor
+            #    state — not on the current go — mirroring a registered
+            #    done and avoiding go/done oscillation when a parent gates
+            #    go with !done; it clears at the reset edge after go falls.
+            if not self._done_from_wires:
+                done_value = 1 if self.executor.finished() else 0
+                changed |= self._set(ThisPort(DONE), done_value)
+            if not changed:
+                return
+        raise CombinationalLoopError(
+            f"{self.path}: combinational logic did not converge after "
+            f"{self._max_iters} iterations (combinational cycle?)"
+        )
+
+    def _collect_assignments(
+        self, active: Set[str]
+    ) -> List[Tuple[Optional[str], Assignment]]:
+        """All assignments that may fire this cycle, with their gate group.
+
+        Writes to a group's own done hole are ungated (gate ``None``): this
+        matches GoInsertion, which guards every assignment in a group with
+        the group's go *except* its done condition.
+        """
+        result: List[Tuple[Optional[str], Assignment]] = []
+        for group in self.comp.groups.values():
+            for assign in group.assignments:
+                is_own_done = (
+                    isinstance(assign.dst, HolePort)
+                    and assign.dst.group == group.name
+                    and assign.dst.port == DONE
+                )
+                result.append((None if is_own_done else group.name, assign))
+        for assign in self.comp.continuous:
+            result.append((None, assign))
+        result.extend(self.executor.extra_assignments(active))
+        return result
+
+    def step_edge(self) -> None:
+        """The clock edge: latch children, advance control state."""
+        # Gather every child's final input values before mutating anything.
+        pending: List[Tuple[object, Dict[str, int]]] = []
+        for name, child in self.children.items():
+            ins = {
+                port: self.nets.get(CellPort(name, port), 0)
+                for port in self._child_inputs[name]
+            }
+            pending.append((child, ins))
+        if self._running():
+            self.executor.step()
+            self._go_was_high = True
+        elif self._go_was_high:
+            # The calling convention: control state resets once go falls.
+            self.executor.reset()
+            self._go_was_high = False
+        for child, ins in pending:
+            child.tick(ins)
+
+    # -- inspection ----------------------------------------------------------
+    def find(self, path: str) -> object:
+        """Locate a child instance by dotted cell path (e.g. ``"pe0.acc"``)."""
+        parts = path.split(".")
+        node: object = self
+        for part in parts:
+            if not isinstance(node, ComponentInstance) or part not in node.children:
+                raise UndefinedError(f"no cell at path {path!r}")
+            node = node.children[part]
+        return node
+
+    def find_model(self, path: str) -> PrimitiveModel:
+        node = self.find(path)
+        if isinstance(node, PrimitiveInstance):
+            return node.model
+        raise UndefinedError(f"cell at {path!r} is not a primitive")
+
+
+# ---------------------------------------------------------------------------
+# Control execution (the interpreter for unlowered programs)
+# ---------------------------------------------------------------------------
+
+
+class _NodeState:
+    """Runtime state of one control-tree node."""
+
+    def __init__(self, owner: "ControlExecutor"):
+        self.owner = owner
+
+    def start(self) -> None:
+        """(Re-)enter this node."""
+
+    def is_done(self) -> bool:
+        raise NotImplementedError
+
+    def active_groups(self, out: Set[str]) -> None:
+        """Add the groups this node currently enables."""
+
+    def forced_groups(self, out: Set[str]) -> None:
+        """Add condition groups that must stay active regardless of done."""
+
+    def extra_assignments(self, out: List[Tuple[Optional[str], Assignment]]) -> None:
+        """Add invoke-synthesized assignments when active."""
+
+    def step(self) -> None:
+        """Advance at the clock edge using the settled net values."""
+
+
+class _EmptyState(_NodeState):
+    def is_done(self) -> bool:
+        return True
+
+    def step(self) -> None:
+        pass
+
+
+class _EnableState(_NodeState):
+    def __init__(self, owner: "ControlExecutor", node: Enable):
+        super().__init__(owner)
+        self.group = node.group
+        self._finished = False
+
+    def start(self) -> None:
+        self._finished = False
+
+    def is_done(self) -> bool:
+        return self._finished
+
+    def active_groups(self, out: Set[str]) -> None:
+        if not self._finished:
+            out.add(self.group)
+
+    def step(self) -> None:
+        if not self._finished and self.owner.value(HolePort(self.group, DONE)):
+            self._finished = True
+
+
+class _InvokeState(_NodeState):
+    """Drives a cell through go/done with the invoke's port bindings."""
+
+    def __init__(self, owner: "ControlExecutor", node: Invoke):
+        super().__init__(owner)
+        self.node = node
+        self._finished = False
+        self._assigns: List[Tuple[Optional[str], Assignment]] = []
+        cell = node.cell
+        for port, src in node.in_binds.items():
+            self._assigns.append((None, Assignment(CellPort(cell, port), src)))
+        for port, dst in node.out_binds.items():
+            self._assigns.append((None, Assignment(dst, CellPort(cell, port))))
+        # The go pulse is gated by !done, like a compiled enable, so the
+        # callee is not re-started during the done-observation cycle.
+        self._assigns.append(
+            (
+                None,
+                Assignment(
+                    CellPort(cell, GO),
+                    ConstPort(1, 1),
+                    NotGuard(PortGuard(CellPort(cell, DONE))),
+                ),
+            )
+        )
+
+    def start(self) -> None:
+        self._finished = False
+
+    def is_done(self) -> bool:
+        return self._finished
+
+    def extra_assignments(self, out: List[Tuple[Optional[str], Assignment]]) -> None:
+        if not self._finished:
+            out.extend(self._assigns)
+
+    def step(self) -> None:
+        if not self._finished and self.owner.value(CellPort(self.node.cell, DONE)):
+            self._finished = True
+
+
+class _SeqState(_NodeState):
+    def __init__(self, owner: "ControlExecutor", node: Seq):
+        super().__init__(owner)
+        self.states = [owner.make_state(child) for child in node.stmts]
+        self.index = 0
+
+    def start(self) -> None:
+        self.index = 0
+        if self.states:
+            self.states[0].start()
+        self._skip_finished()
+
+    def _skip_finished(self) -> None:
+        while self.index < len(self.states) and self.states[self.index].is_done():
+            self.index += 1
+            if self.index < len(self.states):
+                self.states[self.index].start()
+
+    def is_done(self) -> bool:
+        return self.index >= len(self.states)
+
+    def active_groups(self, out: Set[str]) -> None:
+        if not self.is_done():
+            self.states[self.index].active_groups(out)
+
+    def forced_groups(self, out: Set[str]) -> None:
+        if not self.is_done():
+            self.states[self.index].forced_groups(out)
+
+    def extra_assignments(self, out) -> None:
+        if not self.is_done():
+            self.states[self.index].extra_assignments(out)
+
+    def step(self) -> None:
+        if self.is_done():
+            return
+        self.states[self.index].step()
+        if self.states[self.index].is_done():
+            self.index += 1
+            if self.index < len(self.states):
+                self.states[self.index].start()
+                self._skip_finished()
+
+
+class _ParState(_NodeState):
+    def __init__(self, owner: "ControlExecutor", node: Par):
+        super().__init__(owner)
+        self.states = [owner.make_state(child) for child in node.stmts]
+
+    def start(self) -> None:
+        for state in self.states:
+            state.start()
+
+    def is_done(self) -> bool:
+        return all(state.is_done() for state in self.states)
+
+    def active_groups(self, out: Set[str]) -> None:
+        for state in self.states:
+            if not state.is_done():
+                state.active_groups(out)
+
+    def forced_groups(self, out: Set[str]) -> None:
+        for state in self.states:
+            if not state.is_done():
+                state.forced_groups(out)
+
+    def extra_assignments(self, out) -> None:
+        for state in self.states:
+            if not state.is_done():
+                state.extra_assignments(out)
+
+    def step(self) -> None:
+        for state in self.states:
+            if not state.is_done():
+                state.step()
+
+
+class _CondMixin(_NodeState):
+    """Shared cond-group handling for if and while."""
+
+    cond_group: Optional[str]
+    port: PortRef
+
+    def cond_active_groups(self, out: Set[str]) -> None:
+        if self.cond_group is not None:
+            out.add(self.cond_group)
+
+    def cond_finished(self) -> bool:
+        """Has the condition value been computed this activation?"""
+        if self.cond_group is None:
+            return True  # continuously computed: read the port directly
+        group = self.owner.instance.comp.get_group(self.cond_group)
+        if group.comb:
+            return True  # one-cycle combinational evaluation
+        return bool(self.owner.value(HolePort(self.cond_group, DONE)))
+
+
+class _IfState(_CondMixin):
+    def __init__(self, owner: "ControlExecutor", node: If):
+        super().__init__(owner)
+        self.port = node.port
+        self.cond_group = node.cond_group
+        self.tstate = owner.make_state(node.tbranch)
+        self.fstate = owner.make_state(node.fbranch)
+        self.phase = "cond"
+        self.chosen: Optional[_NodeState] = None
+
+    def start(self) -> None:
+        self.phase = "cond"
+        self.chosen = None
+
+    def is_done(self) -> bool:
+        return self.phase == "done"
+
+    def active_groups(self, out: Set[str]) -> None:
+        if self.phase == "branch":
+            assert self.chosen is not None
+            self.chosen.active_groups(out)
+
+    def forced_groups(self, out: Set[str]) -> None:
+        if self.phase == "cond":
+            self.cond_active_groups(out)
+        elif self.phase == "branch":
+            assert self.chosen is not None
+            self.chosen.forced_groups(out)
+
+    def extra_assignments(self, out) -> None:
+        if self.phase == "branch" and self.chosen is not None:
+            self.chosen.extra_assignments(out)
+
+    def step(self) -> None:
+        if self.phase == "cond":
+            if self.cond_finished():
+                value = self.owner.value(self.port)
+                self.chosen = self.tstate if value else self.fstate
+                self.chosen.start()
+                self.phase = "done" if self.chosen.is_done() else "branch"
+        elif self.phase == "branch":
+            assert self.chosen is not None
+            self.chosen.step()
+            if self.chosen.is_done():
+                self.phase = "done"
+
+
+class _WhileState(_CondMixin):
+    def __init__(self, owner: "ControlExecutor", node: While):
+        super().__init__(owner)
+        self.port = node.port
+        self.cond_group = node.cond_group
+        self.body = owner.make_state(node.body)
+        self.phase = "cond"
+
+    def start(self) -> None:
+        self.phase = "cond"
+
+    def is_done(self) -> bool:
+        return self.phase == "done"
+
+    def active_groups(self, out: Set[str]) -> None:
+        if self.phase == "body":
+            self.body.active_groups(out)
+
+    def forced_groups(self, out: Set[str]) -> None:
+        if self.phase == "cond":
+            self.cond_active_groups(out)
+        elif self.phase == "body":
+            self.body.forced_groups(out)
+
+    def extra_assignments(self, out) -> None:
+        if self.phase == "body":
+            self.body.extra_assignments(out)
+
+    def step(self) -> None:
+        if self.phase == "cond":
+            if self.cond_finished():
+                if self.owner.value(self.port):
+                    self.body.start()
+                    # An instantly-done body still re-evaluates the condition
+                    # next cycle, so loops always make progress.
+                    self.phase = "cond" if self.body.is_done() else "body"
+                else:
+                    self.phase = "done"
+        elif self.phase == "body":
+            self.body.step()
+            if self.body.is_done():
+                self.phase = "cond"
+
+
+class _RepeatState(_NodeState):
+    def __init__(self, owner: "ControlExecutor", node: Repeat):
+        super().__init__(owner)
+        self.times = node.times
+        self.body = owner.make_state(node.body)
+        self.remaining = node.times
+
+    def start(self) -> None:
+        self.remaining = self.times
+        if self.remaining:
+            self.body.start()
+            if self.body.is_done():
+                self.remaining = 0  # empty body: nothing to iterate
+
+    def is_done(self) -> bool:
+        return self.remaining == 0
+
+    def active_groups(self, out: Set[str]) -> None:
+        if not self.is_done():
+            self.body.active_groups(out)
+
+    def forced_groups(self, out: Set[str]) -> None:
+        if not self.is_done():
+            self.body.forced_groups(out)
+
+    def extra_assignments(self, out) -> None:
+        if not self.is_done():
+            self.body.extra_assignments(out)
+
+    def step(self) -> None:
+        if self.is_done():
+            return
+        self.body.step()
+        if self.body.is_done():
+            self.remaining -= 1
+            if self.remaining:
+                self.body.start()
+
+
+class ControlExecutor:
+    """Executes a component's control tree cycle-by-cycle."""
+
+    def __init__(self, instance: ComponentInstance, control: Control):
+        self.instance = instance
+        self.control = control
+        self.root = self.make_state(control)
+        self.root.start()
+        self._all_invoke_dsts: List[PortRef] = []
+        for node in control.walk():
+            if isinstance(node, Invoke):
+                self._all_invoke_dsts.append(CellPort(node.cell, GO))
+                for port in node.in_binds:
+                    self._all_invoke_dsts.append(CellPort(node.cell, port))
+                for dst in node.out_binds.values():
+                    self._all_invoke_dsts.append(dst)
+
+    def make_state(self, node: Control) -> _NodeState:
+        if isinstance(node, Empty):
+            return _EmptyState(self)
+        if isinstance(node, Enable):
+            return _EnableState(self, node)
+        if isinstance(node, Seq):
+            return _SeqState(self, node)
+        if isinstance(node, Par):
+            return _ParState(self, node)
+        if isinstance(node, If):
+            return _IfState(self, node)
+        if isinstance(node, While):
+            return _WhileState(self, node)
+        if isinstance(node, Invoke):
+            return _InvokeState(self, node)
+        if isinstance(node, Repeat):
+            return _RepeatState(self, node)
+        raise SimulationError(f"cannot execute control node {node!r}")
+
+    def value(self, ref: PortRef) -> int:
+        return self.instance.read(ref)
+
+    def active_groups(self) -> Set[str]:
+        out: Set[str] = set()
+        if not self.root.is_done():
+            self.root.active_groups(out)
+        return out
+
+    def forced_groups(self) -> Set[str]:
+        out: Set[str] = set()
+        if not self.root.is_done():
+            self.root.forced_groups(out)
+        return out
+
+    def extra_assignments(
+        self, active: Set[str]
+    ) -> List[Tuple[Optional[str], Assignment]]:
+        out: List[Tuple[Optional[str], Assignment]] = []
+        if not self.root.is_done():
+            self.root.extra_assignments(out)
+        return out
+
+    def extra_dsts(self) -> Iterable[PortRef]:
+        for node in self.control.walk():
+            if isinstance(node, Invoke):
+                yield CellPort(node.cell, GO)
+                for port in node.in_binds:
+                    yield CellPort(node.cell, port)
+                for dst in node.out_binds.values():
+                    yield dst
+
+    def finished(self) -> bool:
+        return self.root.is_done()
+
+    def step(self) -> None:
+        if not self.root.is_done():
+            self.root.step()
+
+    def reset(self) -> None:
+        self.root = self.make_state(self.control)
+        self.root.start()

@@ -1,0 +1,114 @@
+"""Testbench: drive a program's main component and report cycle counts.
+
+This plays the role the paper assigns to Verilator plus its harness
+scripts: load input memories, raise ``go``, clock the design until ``done``
+rises, and read back result memories. The cycle count it reports is the
+number of clock edges until ``done`` is observed high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError, UndefinedError
+from repro.ir.ast import Program, ThisPort
+from repro.ir.ports import DONE, GO
+from repro.sim.model import ComponentInstance
+from repro.stdlib.behaviors import MemD1Model, MemD2Model
+
+DEFAULT_MAX_CYCLES = 5_000_000
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run: cycles plus final memory contents."""
+
+    cycles: int
+    memories: Dict[str, List[int]] = field(default_factory=dict)
+
+    def mem(self, name: str) -> List[int]:
+        try:
+            return self.memories[name]
+        except KeyError:
+            raise UndefinedError(f"no memory {name!r} in simulation result") from None
+
+
+class Testbench:
+    """Owns a component instance and runs it to completion."""
+
+    def __init__(self, program: Program, entrypoint: Optional[str] = None):
+        self.program = program
+        name = entrypoint or program.entrypoint
+        self.instance = ComponentInstance(program, program.get_component(name))
+
+    # -- memory poking ----------------------------------------------------
+    def _memory(self, path: str):
+        model = self.instance.find_model(path)
+        if not isinstance(model, (MemD1Model, MemD2Model)):
+            raise UndefinedError(f"cell {path!r} is not a memory")
+        return model
+
+    def write_mem(self, path: str, values: Sequence[int]) -> None:
+        """Initialize a memory's backing store (row-major for 2-D)."""
+        model = self._memory(path)
+        if len(values) != len(model.data):
+            raise SimulationError(
+                f"memory {path!r} holds {len(model.data)} words, got {len(values)}"
+            )
+        model.data = [int(v) & ((1 << model.width) - 1) for v in values]
+
+    def read_mem(self, path: str) -> List[int]:
+        return list(self._memory(path).data)
+
+    def memory_paths(self) -> List[str]:
+        """Dotted paths of all memories directly inside the main component."""
+        paths = []
+        for name, child in self.instance.children.items():
+            model = getattr(child, "model", None)
+            if isinstance(model, (MemD1Model, MemD2Model)):
+                paths.append(name)
+        return paths
+
+    def register_value(self, path: str) -> int:
+        from repro.stdlib.behaviors import RegModel
+
+        model = self.instance.find_model(path)
+        if not isinstance(model, RegModel):
+            raise UndefinedError(f"cell {path!r} is not a register")
+        return model.value
+
+    # -- execution ---------------------------------------------------------
+    def run(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> SimulationResult:
+        """Raise ``go``, clock until ``done``, return cycles and memories."""
+        inst = self.instance
+        inst.nets[ThisPort(GO)] = 1
+        cycles = 0
+        while True:
+            inst.settle()
+            if inst.read(ThisPort(DONE)):
+                break
+            if cycles >= max_cycles:
+                raise SimulationError(
+                    f"design did not finish within {max_cycles} cycles"
+                )
+            inst.step_edge()
+            cycles += 1
+        memories = {path: self.read_mem(path) for path in self.memory_paths()}
+        return SimulationResult(cycles=cycles, memories=memories)
+
+    def reset(self) -> None:
+        self.instance.reset()
+
+
+def run_program(
+    program: Program,
+    memories: Optional[Dict[str, Sequence[int]]] = None,
+    entrypoint: Optional[str] = None,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
+) -> SimulationResult:
+    """One-shot convenience: build a testbench, load memories, run."""
+    bench = Testbench(program, entrypoint)
+    for path, values in (memories or {}).items():
+        bench.write_mem(path, values)
+    return bench.run(max_cycles)

@@ -1,0 +1,10 @@
+"""The Calyx standard library: primitive components.
+
+``primitives`` defines signatures (ports, parameters, attributes),
+``behaviors`` defines cycle-accurate Python simulation models, and
+``costs`` defines the FPGA resource model used in place of Vivado synthesis.
+"""
+
+from repro.stdlib.primitives import Primitive, get_primitive, is_primitive, all_primitives
+
+__all__ = ["Primitive", "get_primitive", "is_primitive", "all_primitives"]

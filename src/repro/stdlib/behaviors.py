@@ -1,0 +1,387 @@
+"""Cycle-accurate Python simulation models for standard-library primitives.
+
+These models stand in for the Verilog implementations the Calyx compiler
+links against; the simulator (:mod:`repro.sim`) drives them with RTL
+semantics — a combinational settle phase (:meth:`PrimitiveModel.comb`)
+followed by a clock edge (:meth:`PrimitiveModel.tick`).
+
+Each model also reports its *combinational dependencies*: which output
+ports depend combinationally on which input ports. The simulator uses this
+to levelize netlists and to detect combinational cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError, UndefinedError
+from repro.stdlib.primitives import DIV_LATENCY, MULT_LATENCY, get_primitive
+
+
+def mask(width: int) -> int:
+    """Bit mask for a ``width``-bit value."""
+    return (1 << width) - 1
+
+
+class PrimitiveModel:
+    """Base class for primitive simulation models.
+
+    Subclasses define:
+
+    * ``comb(inputs) -> outputs`` — combinational outputs as a function of
+      input port values and the current internal state,
+    * ``tick(inputs)`` — state update at the clock edge,
+    * ``comb_deps`` — dict mapping each output port to the input ports it
+      reads combinationally (empty list for registered outputs).
+    """
+
+    #: class-level default overridden by instances where widths matter
+    comb_deps: Dict[str, List[str]] = {}
+
+    def __init__(self, args: Sequence[int]):
+        self.args = tuple(int(a) for a in args)
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def tick(self, inputs: Dict[str, int]) -> None:
+        """Clock edge; combinational-only primitives do nothing."""
+
+    def reset(self) -> None:
+        """Return the model to its power-on state."""
+
+
+# ---------------------------------------------------------------------------
+# Combinational operators
+# ---------------------------------------------------------------------------
+
+
+class BinOpModel(PrimitiveModel):
+    """Two-input combinational operator with a Python function body."""
+
+    def __init__(self, args: Sequence[int], fn: Callable[[int, int, int], int], out_width: Optional[int] = None):
+        super().__init__(args)
+        self.width = self.args[0]
+        self.out_width = self.width if out_width is None else out_width
+        self.fn = fn
+        self.comb_deps = {"out": ["left", "right"]}
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        left = inputs.get("left", 0)
+        right = inputs.get("right", 0)
+        return {"out": self.fn(left, right, self.width) & mask(self.out_width)}
+
+
+class WireModel(PrimitiveModel):
+    def __init__(self, args: Sequence[int]):
+        super().__init__(args)
+        self.comb_deps = {"out": ["in"]}
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        return {"out": inputs.get("in", 0) & mask(self.args[0])}
+
+
+class ConstModel(PrimitiveModel):
+    def __init__(self, args: Sequence[int]):
+        super().__init__(args)
+        self.comb_deps = {"out": []}
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        width, value = self.args
+        return {"out": value & mask(width)}
+
+
+class SliceModel(PrimitiveModel):
+    """Truncate to the low ``OUT_WIDTH`` bits."""
+
+    def __init__(self, args: Sequence[int]):
+        super().__init__(args)
+        self.comb_deps = {"out": ["in"]}
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        return {"out": inputs.get("in", 0) & mask(self.args[1])}
+
+
+class PadModel(SliceModel):
+    """Zero-extend to ``OUT_WIDTH`` bits (same arithmetic as slice)."""
+
+
+class NotModel(PrimitiveModel):
+    def __init__(self, args: Sequence[int]):
+        super().__init__(args)
+        self.comb_deps = {"out": ["in"]}
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        width = self.args[0]
+        return {"out": (~inputs.get("in", 0)) & mask(width)}
+
+
+# ---------------------------------------------------------------------------
+# Stateful primitives
+# ---------------------------------------------------------------------------
+
+
+class RegModel(PrimitiveModel):
+    """``std_reg``: value and done flag both update at the clock edge.
+
+    ``done`` is high for exactly the cycle following a committed write,
+    matching the standard Calyx register implementation.
+    """
+
+    def __init__(self, args: Sequence[int]):
+        super().__init__(args)
+        self.width = self.args[0]
+        self.value = 0
+        self.done = 0
+        self.comb_deps = {"out": [], "done": []}
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        return {"out": self.value, "done": self.done}
+
+    def tick(self, inputs: Dict[str, int]) -> None:
+        if inputs.get("write_en", 0):
+            self.value = inputs.get("in", 0) & mask(self.width)
+            self.done = 1
+        else:
+            self.done = 0
+
+    def reset(self) -> None:
+        self.value = 0
+        self.done = 0
+
+
+class MemD1Model(PrimitiveModel):
+    """``std_mem_d1``: combinational read, synchronous write."""
+
+    def __init__(self, args: Sequence[int]):
+        super().__init__(args)
+        self.width, self.size, self.idx_size = self.args
+        self.data = [0] * self.size
+        self.done = 0
+        self.comb_deps = {"read_data": ["addr0"], "done": []}
+
+    def _index(self, inputs: Dict[str, int]) -> int:
+        addr = inputs.get("addr0", 0)
+        if addr >= self.size:
+            # Out-of-bounds reads return 0 rather than crashing: lowered
+            # designs legitimately present don't-care addresses while a
+            # group is inactive.
+            return -1
+        return addr
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        idx = self._index(inputs)
+        value = self.data[idx] if idx >= 0 else 0
+        return {"read_data": value, "done": self.done}
+
+    def tick(self, inputs: Dict[str, int]) -> None:
+        if inputs.get("write_en", 0):
+            idx = self._index(inputs)
+            if idx < 0:
+                raise SimulationError(
+                    f"std_mem_d1 write out of bounds: addr={inputs.get('addr0')} "
+                    f"size={self.size}"
+                )
+            self.data[idx] = inputs.get("write_data", 0) & mask(self.width)
+            self.done = 1
+        else:
+            self.done = 0
+
+    def reset(self) -> None:
+        self.data = [0] * self.size
+        self.done = 0
+
+
+class MemD2Model(PrimitiveModel):
+    """``std_mem_d2``: row-major two-dimensional memory."""
+
+    def __init__(self, args: Sequence[int]):
+        super().__init__(args)
+        self.width, self.d0, self.d1, self.d0_idx, self.d1_idx = self.args
+        self.data = [0] * (self.d0 * self.d1)
+        self.done = 0
+        self.comb_deps = {"read_data": ["addr0", "addr1"], "done": []}
+
+    def _index(self, inputs: Dict[str, int]) -> int:
+        a0 = inputs.get("addr0", 0)
+        a1 = inputs.get("addr1", 0)
+        if a0 >= self.d0 or a1 >= self.d1:
+            return -1
+        return a0 * self.d1 + a1
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        idx = self._index(inputs)
+        value = self.data[idx] if idx >= 0 else 0
+        return {"read_data": value, "done": self.done}
+
+    def tick(self, inputs: Dict[str, int]) -> None:
+        if inputs.get("write_en", 0):
+            idx = self._index(inputs)
+            if idx < 0:
+                raise SimulationError(
+                    f"std_mem_d2 write out of bounds: addr=({inputs.get('addr0')}, "
+                    f"{inputs.get('addr1')})"
+                )
+            self.data[idx] = inputs.get("write_data", 0) & mask(self.width)
+            self.done = 1
+        else:
+            self.done = 0
+
+    def reset(self) -> None:
+        self.data = [0] * (self.d0 * self.d1)
+        self.done = 0
+
+
+class PipelinedOpModel(PrimitiveModel):
+    """A fixed-latency sequential unit driven by the go/done convention.
+
+    While ``go`` is held high the unit counts cycles; after ``latency``
+    ticks it latches its result and raises ``done`` for one cycle.
+    Dropping ``go`` resets the pipeline.
+    """
+
+    latency = MULT_LATENCY
+    out_ports = ("out",)
+
+    def __init__(self, args: Sequence[int]):
+        super().__init__(args)
+        self.width = self.args[0]
+        self.counter = 0
+        self.done = 0
+        self.results = {port: 0 for port in self.out_ports}
+        self.comb_deps = {port: [] for port in self.out_ports}
+        self.comb_deps["done"] = []
+
+    def compute(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        outputs = dict(self.results)
+        outputs["done"] = self.done
+        return outputs
+
+    def tick(self, inputs: Dict[str, int]) -> None:
+        if self.done:
+            self.done = 0
+            self.counter = 0
+            return
+        if inputs.get("go", 0):
+            self.counter += 1
+            if self.counter >= self._effective_latency(inputs):
+                self.results = {
+                    port: value & mask(self.width)
+                    for port, value in self.compute(inputs).items()
+                }
+                self.done = 1
+        else:
+            self.counter = 0
+
+    def _effective_latency(self, inputs: Dict[str, int]) -> int:
+        return self.latency
+
+    def reset(self) -> None:
+        self.counter = 0
+        self.done = 0
+        self.results = {port: 0 for port in self.out_ports}
+
+
+class MultPipeModel(PipelinedOpModel):
+    latency = MULT_LATENCY
+    out_ports = ("out",)
+
+    def compute(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        return {"out": inputs.get("left", 0) * inputs.get("right", 0)}
+
+
+class DivPipeModel(PipelinedOpModel):
+    latency = DIV_LATENCY
+    out_ports = ("out_quotient", "out_remainder")
+
+    def compute(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        left = inputs.get("left", 0)
+        right = inputs.get("right", 0)
+        if right == 0:
+            # Divide-by-zero mirrors hardware: all-ones quotient.
+            return {"out_quotient": mask(self.width), "out_remainder": left}
+        return {"out_quotient": left // right, "out_remainder": left % right}
+
+
+class SqrtModel(PipelinedOpModel):
+    """Integer square root with data-dependent latency.
+
+    The latency grows with the operand's bit length (one cycle per result
+    bit, as in a classic non-restoring implementation), so no ``"static"``
+    attribute can describe it — exercising mixed latency-sensitive /
+    latency-insensitive compilation (paper Section 6.2).
+    """
+
+    out_ports = ("out",)
+
+    def compute(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        return {"out": int(inputs.get("in", 0) ** 0.5)}
+
+    def _effective_latency(self, inputs: Dict[str, int]) -> int:
+        return max(1, inputs.get("in", 0).bit_length() // 2 + 1)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def _arith(fn: Callable[[int, int, int], int]) -> Callable[[Sequence[int]], BinOpModel]:
+    return lambda args: BinOpModel(args, fn)
+
+
+def _cmp(fn: Callable[[int, int, int], int]) -> Callable[[Sequence[int]], BinOpModel]:
+    return lambda args: BinOpModel(args, fn, out_width=1)
+
+
+_MODELS: Dict[str, Callable[[Sequence[int]], PrimitiveModel]] = {
+    "std_wire": WireModel,
+    "std_const": ConstModel,
+    "std_slice": SliceModel,
+    "std_pad": PadModel,
+    "std_not": NotModel,
+    "std_add": _arith(lambda l, r, w: l + r),
+    "std_sub": _arith(lambda l, r, w: l - r),
+    "std_and": _arith(lambda l, r, w: l & r),
+    "std_or": _arith(lambda l, r, w: l | r),
+    "std_xor": _arith(lambda l, r, w: l ^ r),
+    "std_lsh": _arith(lambda l, r, w: l << min(r, w)),
+    "std_rsh": _arith(lambda l, r, w: l >> min(r, w)),
+    "std_mult": _arith(lambda l, r, w: l * r),
+    "std_gt": _cmp(lambda l, r, w: int(l > r)),
+    "std_lt": _cmp(lambda l, r, w: int(l < r)),
+    "std_eq": _cmp(lambda l, r, w: int(l == r)),
+    "std_neq": _cmp(lambda l, r, w: int(l != r)),
+    "std_ge": _cmp(lambda l, r, w: int(l >= r)),
+    "std_le": _cmp(lambda l, r, w: int(l <= r)),
+    "std_reg": RegModel,
+    "std_mem_d1": MemD1Model,
+    "std_mem_d2": MemD2Model,
+    "std_mult_pipe": MultPipeModel,
+    "std_div_pipe": DivPipeModel,
+    "std_sqrt": SqrtModel,
+}
+
+#: Behaviours registered for extern (black-box) components, keyed by the
+#: extern component's name. Tests and users may extend this.
+EXTERN_MODELS: Dict[str, Callable[[Sequence[int]], PrimitiveModel]] = {}
+
+
+def make_model(comp_name: str, args: Sequence[int]) -> PrimitiveModel:
+    """Instantiate the simulation model for a primitive or extern."""
+    factory = _MODELS.get(comp_name) or EXTERN_MODELS.get(comp_name)
+    if factory is None:
+        raise UndefinedError(f"no simulation model for {comp_name!r}")
+    # Validate the arity against the declared signature when known.
+    try:
+        get_primitive(comp_name).bind(args)
+    except UndefinedError:
+        pass
+    return factory(args)
+
+
+def has_model(comp_name: str) -> bool:
+    return comp_name in _MODELS or comp_name in EXTERN_MODELS

@@ -1,0 +1,133 @@
+"""FPGA resource cost model — the stand-in for Vivado synthesis estimates.
+
+Costs approximate a 6-input-LUT FPGA (the paper targets a Zynq UltraScale+
+XCZU3EG). Only *relative* costs matter for reproducing the paper's
+comparisons; the model is deliberately simple and fully documented:
+
+* a ``w``-bit add/sub costs ``w`` LUTs (one LUT per bit with carry chain),
+* a ``w``-bit comparator costs about ``w/2`` LUTs,
+* bitwise ops cost about ``w/2`` LUTs,
+* a register costs flip-flops, not LUTs,
+* a 2:1 ``w``-bit multiplexer costs ``ceil(w/2)`` LUTs (two mux bits per
+  LUT6); every additional driver of a port adds one 2:1 mux,
+* guard logic costs one LUT per operator node,
+* multipliers map to DSP blocks, memories above a threshold to BRAM.
+
+These choices make the paper's central tension real: sharing an adder saves
+its LUTs but pays for input multiplexers and extra guard terms, so sharing
+can *increase* LUT counts (Figure 9a) while register sharing always reduces
+flip-flops (Figure 9b).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.errors import UndefinedError
+
+#: Memories at least this many bits map to BRAM instead of LUTRAM.
+BRAM_THRESHOLD_BITS = 1024
+
+
+@dataclass
+class Resources:
+    """Resource usage report: the metrics the paper plots."""
+
+    luts: float = 0.0
+    registers: int = 0
+    dsps: int = 0
+    brams: int = 0
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, other: "Resources") -> "Resources":
+        merged = dict(self.detail)
+        for key, value in other.detail.items():
+            merged[key] = merged.get(key, 0.0) + value
+        return Resources(
+            self.luts + other.luts,
+            self.registers + other.registers,
+            self.dsps + other.dsps,
+            self.brams + other.brams,
+            merged,
+        )
+
+    def charge(self, category: str, luts: float = 0.0, registers: int = 0, dsps: int = 0, brams: int = 0) -> None:
+        """Accumulate a cost under a named category (for reports)."""
+        self.luts += luts
+        self.registers += registers
+        self.dsps += dsps
+        self.brams += brams
+        if luts:
+            self.detail[category] = self.detail.get(category, 0.0) + luts
+
+    def __str__(self) -> str:
+        return (
+            f"LUTs={self.luts:.0f} regs={self.registers} "
+            f"DSPs={self.dsps} BRAMs={self.brams}"
+        )
+
+
+def mux_cost(width: int, n_drivers: int) -> float:
+    """LUTs for the multiplexing needed by a ``width``-bit port with
+    ``n_drivers`` distinct drivers (zero when a unique driver exists)."""
+    if n_drivers <= 1:
+        return 0.0
+    return (n_drivers - 1) * math.ceil(width / 2)
+
+
+def guard_cost(n_operator_nodes: int) -> float:
+    """LUTs for guard logic: one LUT per boolean/comparison operator."""
+    return float(n_operator_nodes)
+
+
+def _mem_cost(width: int, size: int) -> Resources:
+    bits = width * size
+    res = Resources()
+    if bits >= BRAM_THRESHOLD_BITS:
+        res.charge("bram", brams=max(1, math.ceil(bits / 18432)))
+    else:
+        # Distributed LUTRAM: 64 bits per LUT.
+        res.charge("lutram", luts=math.ceil(bits / 64))
+    return res
+
+
+def primitive_cost(name: str, args: Sequence[int]) -> Resources:
+    """Resource cost of one primitive instance."""
+    res = Resources()
+    a = [int(x) for x in args]
+    if name in ("std_add", "std_sub"):
+        res.charge("arith", luts=a[0])
+    elif name in ("std_and", "std_or", "std_xor", "std_not"):
+        res.charge("logic", luts=math.ceil(a[0] / 2))
+    elif name in ("std_lsh", "std_rsh"):
+        # Barrel shifter: ~ w * log2(w) / 2 LUTs.
+        width = a[0]
+        res.charge("shift", luts=math.ceil(width * max(1, math.log2(width)) / 2))
+    elif name in ("std_gt", "std_lt", "std_eq", "std_neq", "std_ge", "std_le"):
+        res.charge("cmp", luts=math.ceil(a[0] / 2) + 1)
+    elif name in ("std_slice", "std_pad", "std_wire", "std_const"):
+        pass  # wiring only
+    elif name == "std_reg":
+        res.charge("reg", registers=a[0] + 1)  # value bits + done flop
+    elif name == "std_mem_d1":
+        res = res.add(_mem_cost(a[0], a[1]))
+        res.charge("mem-ctrl", registers=1)
+    elif name == "std_mem_d2":
+        res = res.add(_mem_cost(a[0], a[1] * a[2]))
+        res.charge("mem-ctrl", registers=1, luts=math.ceil(a[0] / 8))
+    elif name in ("std_mult", "std_mult_pipe"):
+        width = a[0]
+        res.charge("dsp", dsps=1 if width <= 18 else 4, luts=20)
+        if name == "std_mult_pipe":
+            res.charge("pipe-reg", registers=2 * width + 3)
+    elif name == "std_div_pipe":
+        width = a[0]
+        res.charge("div", luts=3 * width, registers=2 * width + 3)
+    elif name == "std_sqrt":
+        width = a[0]
+        res.charge("sqrt", luts=2 * width, registers=width + 3)
+    else:
+        raise UndefinedError(f"no resource model for primitive {name!r}")
+    return res

@@ -1,0 +1,270 @@
+"""Primitive component signatures.
+
+Each primitive mirrors a member of the Calyx standard library used by the
+paper: registers, memories, combinational ALU operators, and sequential
+(multi-cycle) units such as the pipelined multiplier. A primitive knows its
+parameter names, how to build its port signature from concrete arguments,
+and its intrinsic attributes (``"share"`` for shareable combinational
+units, ``"static"`` for units with a fixed latency).
+
+Deviation from the paper's listings: as in the real Calyx standard library,
+stateful primitives carry an explicit ``write_en`` port which the paper's
+examples elide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import UndefinedError, ValidationError
+from repro.ir.attributes import Attributes, SHARE, STATIC
+from repro.ir.types import Direction, PortDef
+
+# Fixed latency of the pipelined multiplier and divider (paper Section 6.2:
+# "multiplies take four cycles").
+MULT_LATENCY = 4
+DIV_LATENCY = 4
+
+
+class Primitive:
+    """Signature template for a standard-library primitive.
+
+    ``ports`` is a list of ``(name, width_spec, direction)`` where
+    ``width_spec`` is either an integer literal width or the name of a
+    parameter (e.g. ``"WIDTH"``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: Sequence[str],
+        ports: Sequence[Tuple[str, object, Direction]],
+        attributes: Optional[Dict[str, int]] = None,
+        combinational: bool = True,
+        latency: Optional[int] = None,
+    ):
+        self.name = name
+        self.params = tuple(params)
+        self.ports = list(ports)
+        self.attributes = Attributes(attributes or {})
+        self.combinational = combinational
+        # Fixed latency in cycles for sequential primitives; None when the
+        # latency is data-dependent (e.g. std_sqrt).
+        self.latency = latency
+        if latency is not None:
+            self.attributes.set(STATIC, latency)
+
+    def bind(self, args: Sequence[int]) -> Dict[str, int]:
+        """Bind concrete arguments to parameter names."""
+        if len(args) != len(self.params):
+            raise ValidationError(
+                f"primitive {self.name!r} takes {len(self.params)} parameter(s) "
+                f"({', '.join(self.params)}), got {len(args)}"
+            )
+        return dict(zip(self.params, (int(a) for a in args)))
+
+    def signature(self, args: Sequence[int]) -> Dict[str, PortDef]:
+        """Port signature for a concrete instantiation."""
+        env = self.bind(args)
+        sig: Dict[str, PortDef] = {}
+        for port_name, width_spec, direction in self.ports:
+            width = env[width_spec] if isinstance(width_spec, str) else int(width_spec)
+            sig[port_name] = PortDef(port_name, width, direction)
+        return sig
+
+    def is_shareable(self) -> bool:
+        return bool(self.attributes.get(SHARE, 0))
+
+    def __repr__(self) -> str:
+        return f"Primitive({self.name!r})"
+
+
+_IN = Direction.INPUT
+_OUT = Direction.OUTPUT
+
+
+def _binop(name: str, out_width: object = "WIDTH", share: bool = True) -> Primitive:
+    """A shareable two-input combinational operator."""
+    return Primitive(
+        name,
+        ["WIDTH"],
+        [("left", "WIDTH", _IN), ("right", "WIDTH", _IN), ("out", out_width, _OUT)],
+        attributes={SHARE: 1} if share else None,
+    )
+
+
+_PRIMITIVES: Dict[str, Primitive] = {}
+
+
+def _register(prim: Primitive) -> Primitive:
+    _PRIMITIVES[prim.name] = prim
+    return prim
+
+
+# -- stateless wiring ------------------------------------------------------
+_register(
+    Primitive(
+        "std_wire",
+        ["WIDTH"],
+        [("in", "WIDTH", _IN), ("out", "WIDTH", _OUT)],
+    )
+)
+_register(
+    Primitive(
+        "std_const",
+        ["WIDTH", "VALUE"],
+        [("out", "WIDTH", _OUT)],
+    )
+)
+_register(
+    Primitive(
+        "std_slice",
+        ["IN_WIDTH", "OUT_WIDTH"],
+        [("in", "IN_WIDTH", _IN), ("out", "OUT_WIDTH", _OUT)],
+    )
+)
+_register(
+    Primitive(
+        "std_pad",
+        ["IN_WIDTH", "OUT_WIDTH"],
+        [("in", "IN_WIDTH", _IN), ("out", "OUT_WIDTH", _OUT)],
+    )
+)
+
+# -- combinational arithmetic and logic -------------------------------------
+_register(_binop("std_add"))
+_register(_binop("std_sub"))
+_register(_binop("std_and"))
+_register(_binop("std_or"))
+_register(_binop("std_xor"))
+_register(_binop("std_lsh"))
+_register(_binop("std_rsh"))
+_register(_binop("std_gt", out_width=1))
+_register(_binop("std_lt", out_width=1))
+_register(_binop("std_eq", out_width=1))
+_register(_binop("std_neq", out_width=1))
+_register(_binop("std_ge", out_width=1))
+_register(_binop("std_le", out_width=1))
+_register(
+    Primitive(
+        "std_not",
+        ["WIDTH"],
+        [("in", "WIDTH", _IN), ("out", "WIDTH", _OUT)],
+        attributes={SHARE: 1},
+    )
+)
+# Combinational single-cycle multiplier: used by the HLS-style baseline
+# model and by tests; the Dahlia frontend emits std_mult_pipe.
+_register(_binop("std_mult"))
+
+# -- registers and memories --------------------------------------------------
+_register(
+    Primitive(
+        "std_reg",
+        ["WIDTH"],
+        [
+            ("in", "WIDTH", _IN),
+            ("write_en", 1, _IN),
+            ("out", "WIDTH", _OUT),
+            ("done", 1, _OUT),
+        ],
+        combinational=False,
+        latency=1,
+    )
+)
+_register(
+    Primitive(
+        "std_mem_d1",
+        ["WIDTH", "SIZE", "IDX_SIZE"],
+        [
+            ("addr0", "IDX_SIZE", _IN),
+            ("write_data", "WIDTH", _IN),
+            ("write_en", 1, _IN),
+            ("read_data", "WIDTH", _OUT),
+            ("done", 1, _OUT),
+        ],
+        combinational=False,
+        latency=1,
+    )
+)
+_register(
+    Primitive(
+        "std_mem_d2",
+        ["WIDTH", "D0_SIZE", "D1_SIZE", "D0_IDX_SIZE", "D1_IDX_SIZE"],
+        [
+            ("addr0", "D0_IDX_SIZE", _IN),
+            ("addr1", "D1_IDX_SIZE", _IN),
+            ("write_data", "WIDTH", _IN),
+            ("write_en", 1, _IN),
+            ("read_data", "WIDTH", _OUT),
+            ("done", 1, _OUT),
+        ],
+        combinational=False,
+        latency=1,
+    )
+)
+
+# -- multi-cycle functional units ---------------------------------------------
+_register(
+    Primitive(
+        "std_mult_pipe",
+        ["WIDTH"],
+        [
+            ("left", "WIDTH", _IN),
+            ("right", "WIDTH", _IN),
+            ("go", 1, _IN),
+            ("out", "WIDTH", _OUT),
+            ("done", 1, _OUT),
+        ],
+        combinational=False,
+        latency=MULT_LATENCY,
+    )
+)
+_register(
+    Primitive(
+        "std_div_pipe",
+        ["WIDTH"],
+        [
+            ("left", "WIDTH", _IN),
+            ("right", "WIDTH", _IN),
+            ("go", 1, _IN),
+            ("out_quotient", "WIDTH", _OUT),
+            ("out_remainder", "WIDTH", _OUT),
+            ("done", 1, _OUT),
+        ],
+        combinational=False,
+        latency=DIV_LATENCY,
+    )
+)
+# Integer square root with a data-dependent latency: the paper's example of
+# a black-box RTL unit that forces latency-insensitive compilation.
+_register(
+    Primitive(
+        "std_sqrt",
+        ["WIDTH"],
+        [
+            ("in", "WIDTH", _IN),
+            ("go", 1, _IN),
+            ("out", "WIDTH", _OUT),
+            ("done", 1, _OUT),
+        ],
+        combinational=False,
+        latency=None,
+    )
+)
+
+
+def get_primitive(name: str) -> Primitive:
+    """Look up a primitive by name, raising :class:`UndefinedError`."""
+    try:
+        return _PRIMITIVES[name]
+    except KeyError:
+        raise UndefinedError(f"unknown primitive {name!r}") from None
+
+
+def is_primitive(name: str) -> bool:
+    return name in _PRIMITIVES
+
+
+def all_primitives() -> List[Primitive]:
+    return list(_PRIMITIVES.values())

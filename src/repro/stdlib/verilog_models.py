@@ -1,0 +1,229 @@
+"""SystemVerilog implementations of the standard-library primitives.
+
+Emitted once per generated design by :mod:`repro.backend.verilog`. These
+mirror the Python simulation models in :mod:`repro.stdlib.behaviors`
+(registered ``done`` signals, synchronous writes, pipelined multiplier).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+_COMB_BINOPS = {
+    "std_add": "left + right",
+    "std_sub": "left - right",
+    "std_and": "left & right",
+    "std_or": "left | right",
+    "std_xor": "left ^ right",
+    "std_lsh": "left << right",
+    "std_rsh": "left >> right",
+    "std_mult": "left * right",
+}
+
+_CMP_BINOPS = {
+    "std_gt": ">",
+    "std_lt": "<",
+    "std_eq": "==",
+    "std_neq": "!=",
+    "std_ge": ">=",
+    "std_le": "<=",
+}
+
+
+def _binop_module(name: str, body: str) -> str:
+    return f"""module {name} #(parameter WIDTH = 32) (
+  input  logic [WIDTH-1:0] left,
+  input  logic [WIDTH-1:0] right,
+  output logic [WIDTH-1:0] out
+);
+  assign out = {body};
+endmodule
+"""
+
+
+def _cmp_module(name: str, op: str) -> str:
+    return f"""module {name} #(parameter WIDTH = 32) (
+  input  logic [WIDTH-1:0] left,
+  input  logic [WIDTH-1:0] right,
+  output logic out
+);
+  assign out = left {op} right;
+endmodule
+"""
+
+
+_FIXED_MODULES = {
+    "std_wire": """module std_wire #(parameter WIDTH = 32) (
+  input  logic [WIDTH-1:0] in,
+  output logic [WIDTH-1:0] out
+);
+  assign out = in;
+endmodule
+""",
+    "std_const": """module std_const #(parameter WIDTH = 32, parameter VALUE = 0) (
+  output logic [WIDTH-1:0] out
+);
+  assign out = VALUE;
+endmodule
+""",
+    "std_slice": """module std_slice #(parameter IN_WIDTH = 32, parameter OUT_WIDTH = 32) (
+  input  logic [IN_WIDTH-1:0] in,
+  output logic [OUT_WIDTH-1:0] out
+);
+  assign out = in[OUT_WIDTH-1:0];
+endmodule
+""",
+    "std_pad": """module std_pad #(parameter IN_WIDTH = 32, parameter OUT_WIDTH = 32) (
+  input  logic [IN_WIDTH-1:0] in,
+  output logic [OUT_WIDTH-1:0] out
+);
+  assign out = {{(OUT_WIDTH - IN_WIDTH){1'b0}}, in};
+endmodule
+""",
+    "std_not": """module std_not #(parameter WIDTH = 32) (
+  input  logic [WIDTH-1:0] in,
+  output logic [WIDTH-1:0] out
+);
+  assign out = ~in;
+endmodule
+""",
+    "std_reg": """module std_reg #(parameter WIDTH = 32) (
+  input  logic [WIDTH-1:0] in,
+  input  logic write_en,
+  input  logic clk,
+  output logic [WIDTH-1:0] out,
+  output logic done
+);
+  always_ff @(posedge clk) begin
+    if (write_en) begin
+      out <= in;
+      done <= 1'd1;
+    end else begin
+      done <= 1'd0;
+    end
+  end
+endmodule
+""",
+    "std_mem_d1": """module std_mem_d1 #(
+  parameter WIDTH = 32, parameter SIZE = 16, parameter IDX_SIZE = 4
+) (
+  input  logic [IDX_SIZE-1:0] addr0,
+  input  logic [WIDTH-1:0] write_data,
+  input  logic write_en,
+  input  logic clk,
+  output logic [WIDTH-1:0] read_data,
+  output logic done
+);
+  logic [WIDTH-1:0] mem [SIZE-1:0];
+  assign read_data = mem[addr0];
+  always_ff @(posedge clk) begin
+    if (write_en) begin
+      mem[addr0] <= write_data;
+      done <= 1'd1;
+    end else begin
+      done <= 1'd0;
+    end
+  end
+endmodule
+""",
+    "std_mem_d2": """module std_mem_d2 #(
+  parameter WIDTH = 32, parameter D0_SIZE = 4, parameter D1_SIZE = 4,
+  parameter D0_IDX_SIZE = 2, parameter D1_IDX_SIZE = 2
+) (
+  input  logic [D0_IDX_SIZE-1:0] addr0,
+  input  logic [D1_IDX_SIZE-1:0] addr1,
+  input  logic [WIDTH-1:0] write_data,
+  input  logic write_en,
+  input  logic clk,
+  output logic [WIDTH-1:0] read_data,
+  output logic done
+);
+  logic [WIDTH-1:0] mem [D0_SIZE*D1_SIZE-1:0];
+  assign read_data = mem[addr0 * D1_SIZE + addr1];
+  always_ff @(posedge clk) begin
+    if (write_en) begin
+      mem[addr0 * D1_SIZE + addr1] <= write_data;
+      done <= 1'd1;
+    end else begin
+      done <= 1'd0;
+    end
+  end
+endmodule
+""",
+    "std_mult_pipe": """module std_mult_pipe #(parameter WIDTH = 32) (
+  input  logic [WIDTH-1:0] left,
+  input  logic [WIDTH-1:0] right,
+  input  logic go,
+  input  logic clk,
+  output logic [WIDTH-1:0] out,
+  output logic done
+);
+  logic [WIDTH-1:0] rtmp;
+  logic [2:0] count;
+  always_ff @(posedge clk) begin
+    if (done) begin
+      done <= 1'd0;
+      count <= 3'd0;
+    end else if (go) begin
+      count <= count + 3'd1;
+      if (count == 3'd3) begin
+        out <= left * right;
+        done <= 1'd1;
+      end
+    end else begin
+      count <= 3'd0;
+    end
+  end
+endmodule
+""",
+    "std_div_pipe": """module std_div_pipe #(parameter WIDTH = 32) (
+  input  logic [WIDTH-1:0] left,
+  input  logic [WIDTH-1:0] right,
+  input  logic go,
+  input  logic clk,
+  output logic [WIDTH-1:0] out_quotient,
+  output logic [WIDTH-1:0] out_remainder,
+  output logic done
+);
+  logic [2:0] count;
+  always_ff @(posedge clk) begin
+    if (done) begin
+      done <= 1'd0;
+      count <= 3'd0;
+    end else if (go) begin
+      count <= count + 3'd1;
+      if (count == 3'd3) begin
+        out_quotient <= right == 0 ? '1 : left / right;
+        out_remainder <= right == 0 ? left : left % right;
+        done <= 1'd1;
+      end
+    end else begin
+      count <= 3'd0;
+    end
+  end
+endmodule
+""",
+}
+
+
+def primitive_module(name: str) -> str:
+    """SystemVerilog source for one primitive module."""
+    if name in _FIXED_MODULES:
+        return _FIXED_MODULES[name]
+    if name in _COMB_BINOPS:
+        return _binop_module(name, _COMB_BINOPS[name])
+    if name in _CMP_BINOPS:
+        return _cmp_module(name, _CMP_BINOPS[name])
+    raise KeyError(f"no Verilog model for primitive {name!r}")
+
+
+def prelude(used: Sequence[str]) -> str:
+    """Module definitions for all used primitives, deterministic order."""
+    emitted: Set[str] = set()
+    chunks: List[str] = []
+    for name in sorted(used):
+        if name in emitted:
+            continue
+        emitted.add(name)
+        chunks.append(primitive_module(name))
+    return "\n".join(chunks)

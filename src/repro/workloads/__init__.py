@@ -1,0 +1,13 @@
+"""Workloads for the evaluation: PolyBench linear algebra (Figures 8-9)
+and matrix-multiply configurations for the systolic study (Figure 7)."""
+
+from repro.workloads.polybench import Kernel, polybench_kernels, get_kernel
+from repro.workloads.matmul import hls_matmul_source, matmul_reference
+
+__all__ = [
+    "Kernel",
+    "polybench_kernels",
+    "get_kernel",
+    "hls_matmul_source",
+    "matmul_reference",
+]

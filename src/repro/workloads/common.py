@@ -1,0 +1,35 @@
+"""Deterministic input data generation for workloads.
+
+A tiny LCG keeps data reproducible without ``random`` (and without any
+seed-handling differences across Python versions). Values stay small so
+32-bit integer kernels don't wrap in uninteresting ways, and never zero so
+triangular solvers don't divide by zero on the diagonal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Lcg:
+    """Numerical Recipes LCG; good enough for benchmark inputs."""
+
+    def __init__(self, seed: int = 0xC0FFEE):
+        self.state = seed & 0xFFFFFFFF
+
+    def next(self) -> int:
+        self.state = (1664525 * self.state + 1013904223) & 0xFFFFFFFF
+        return self.state
+
+    def ints(self, count: int, lo: int = 1, hi: int = 15) -> List[int]:
+        span = hi - lo + 1
+        return [lo + self.next() % span for _ in range(count)]
+
+
+def vector(seed: int, n: int, lo: int = 1, hi: int = 15) -> List[int]:
+    return Lcg(seed).ints(n, lo, hi)
+
+
+def matrix(seed: int, rows: int, cols: int, lo: int = 1, hi: int = 15) -> List[int]:
+    """Row-major matrix data."""
+    return Lcg(seed).ints(rows * cols, lo, hi)

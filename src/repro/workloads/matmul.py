@@ -1,0 +1,79 @@
+"""Matrix-multiply workloads for the systolic array study (Figure 7).
+
+The HLS baseline mirrors the paper's description exactly: "a
+straightforward matrix-multiply kernel in Vivado HLS that fully unrolls
+the outer two loops" — no banking, no pipeline pragma. It is analyzed by
+the HLS scheduler model in its non-pipelined (sequential FSM) regime; the
+Dahlia type checker would reject the unroll (unbanked memories), which is
+precisely the difference between the two flows, so the source is parsed
+but not typechecked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.frontends.dahlia.ast import Program
+from repro.frontends.dahlia.parser import parse
+from repro.hls import HlsConfig, HlsReport, schedule_program
+from repro.workloads.common import matrix
+
+
+def hls_matmul_source(n: int) -> str:
+    """The paper's HLS baseline kernel: outer two loops fully unrolled."""
+    return f"""
+decl A: ubit<32>[{n}][{n}];
+decl B: ubit<32>[{n}][{n}];
+decl C: ubit<32>[{n}][{n}];
+for (let i = 0..{n}) unroll {n} {{
+  for (let j = 0..{n}) unroll {n} {{
+    for (let k = 0..{n}) {{
+      C[i][j] := C[i][j] + A[i][k] * B[k][j]
+    }}
+  }}
+}}
+"""
+
+
+def hls_matmul_report(n: int) -> HlsReport:
+    """Schedule the HLS baseline (non-pipelined: no pragma was given)."""
+    program: Program = parse(hls_matmul_source(n))
+    config = HlsConfig(pipeline_innermost=False)
+    return schedule_program(program, config)
+
+
+def matmul_reference(a: List[List[int]], b: List[List[int]]) -> List[List[int]]:
+    """Plain Python matrix multiply (the testbench oracle)."""
+    n = len(a)
+    k_dim = len(b)
+    m = len(b[0])
+    mask = (1 << 32) - 1
+    return [
+        [sum(a[i][k] * b[k][j] for k in range(k_dim)) & mask for j in range(m)]
+        for i in range(n)
+    ]
+
+
+def systolic_inputs(n: int, seed: int = 99) -> Dict[str, List[int]]:
+    """Input memories for an n-by-n systolic array run."""
+    a_flat = matrix(seed, n, n)
+    b_flat = matrix(seed + 1, n, n)
+    a = [a_flat[i * n : (i + 1) * n] for i in range(n)]
+    b = [b_flat[i * n : (i + 1) * n] for i in range(n)]
+    mems: Dict[str, List[int]] = {}
+    for r in range(n):
+        mems[f"l{r}"] = a[r]
+    for c in range(n):
+        mems[f"t{c}"] = [b[k][c] for k in range(n)]
+    mems["out"] = [0] * (n * n)
+    return mems
+
+
+def systolic_expected(n: int, seed: int = 99) -> List[int]:
+    """Flattened expected product for :func:`systolic_inputs`."""
+    a_flat = matrix(seed, n, n)
+    b_flat = matrix(seed + 1, n, n)
+    a = [a_flat[i * n : (i + 1) * n] for i in range(n)]
+    b = [b_flat[i * n : (i + 1) * n] for i in range(n)]
+    product = matmul_reference(a, b)
+    return [v for row in product for v in row]

@@ -1,0 +1,211 @@
+"""Unit tests for the structural AST and control tree."""
+
+import pytest
+
+from repro.errors import UndefinedError, ValidationError
+from repro.ir.ast import (
+    Assignment,
+    Cell,
+    CellPort,
+    Component,
+    ConstPort,
+    Group,
+    HolePort,
+    Program,
+    ThisPort,
+)
+from repro.ir.control import (
+    Empty,
+    Enable,
+    If,
+    Invoke,
+    Par,
+    Seq,
+    While,
+    count_control_statements,
+    map_control,
+)
+from repro.ir.guards import G_TRUE, PortGuard
+
+
+class TestAssignment:
+    def test_rejects_constant_destination(self):
+        with pytest.raises(ValidationError):
+            Assignment(ConstPort(1, 1), CellPort("a", "out"))
+
+    def test_unconditional(self):
+        a = Assignment(CellPort("r", "in"), ConstPort(32, 1))
+        assert a.is_unconditional()
+        assert a.to_string() == "r.in = 32'd1;"
+
+    def test_guarded_string(self):
+        a = Assignment(
+            CellPort("r", "in"),
+            ConstPort(32, 1),
+            PortGuard(CellPort("c", "out")),
+        )
+        assert a.to_string() == "r.in = c.out ? 32'd1;"
+
+    def test_reads_excludes_destination(self):
+        a = Assignment(
+            CellPort("r", "in"),
+            CellPort("a", "out"),
+            PortGuard(CellPort("c", "out")),
+        )
+        reads = list(a.reads())
+        assert CellPort("a", "out") in reads
+        assert CellPort("c", "out") in reads
+        assert CellPort("r", "in") not in reads
+
+    def test_map_ports(self):
+        a = Assignment(CellPort("r", "in"), CellPort("a", "out"))
+        b = a.map_ports(
+            lambda p: CellPort("z", p.port) if isinstance(p, CellPort) else p
+        )
+        assert b.dst == CellPort("z", "in")
+        assert b.src == CellPort("z", "out")
+
+
+class TestComponent:
+    def test_interface_ports_added(self):
+        comp = Component("c")
+        names = [p.name for p in comp.inputs] + [p.name for p in comp.outputs]
+        assert "go" in names and "done" in names
+
+    def test_duplicate_cell_rejected(self):
+        comp = Component("c")
+        comp.add_cell(Cell("r", "std_reg", (32,)))
+        with pytest.raises(ValidationError):
+            comp.add_cell(Cell("r", "std_reg", (32,)))
+
+    def test_duplicate_group_rejected(self):
+        comp = Component("c")
+        comp.add_group(Group("g"))
+        with pytest.raises(ValidationError):
+            comp.add_group(Group("g"))
+
+    def test_get_missing_cell(self):
+        with pytest.raises(UndefinedError):
+            Component("c").get_cell("nope")
+
+    def test_gen_name_avoids_collisions(self):
+        comp = Component("c")
+        comp.add_cell(Cell("fsm0", "std_reg", (1,)))
+        name = comp.gen_name("fsm")
+        assert name != "fsm0"
+        assert name not in comp.cells
+
+    def test_copy_is_deep(self):
+        comp = Component("c")
+        comp.add_cell(Cell("r", "std_reg", (32,)))
+        group = comp.add_group(Group("g"))
+        group.assignments.append(Assignment(CellPort("r", "in"), ConstPort(32, 1)))
+        clone = comp.copy()
+        clone.get_group("g").assignments.clear()
+        assert len(comp.get_group("g").assignments) == 1
+
+    def test_all_assignments_tags_groups(self):
+        comp = Component("c")
+        comp.add_cell(Cell("r", "std_reg", (32,)))
+        g = comp.add_group(Group("g"))
+        g.assignments.append(Assignment(CellPort("r", "in"), ConstPort(32, 1)))
+        comp.continuous.append(Assignment(ThisPort("done"), ConstPort(1, 1)))
+        tags = [(grp.name if grp else None) for grp, _ in comp.all_assignments()]
+        assert tags == ["g", None]
+
+
+class TestGroup:
+    def test_done_assignments(self):
+        g = Group("g")
+        g.assignments.append(Assignment(CellPort("r", "in"), ConstPort(32, 1)))
+        g.assignments.append(Assignment(HolePort("g", "done"), ConstPort(1, 1)))
+        assert len(g.done_assignments()) == 1
+
+    def test_holes(self):
+        g = Group("g")
+        assert g.go == HolePort("g", "go")
+        assert g.done == HolePort("g", "done")
+
+
+class TestProgram:
+    def test_lookup(self):
+        prog = Program([Component("main")])
+        assert prog.get_component("main").name == "main"
+        with pytest.raises(UndefinedError):
+            prog.get_component("other")
+
+    def test_duplicate_component_rejected(self):
+        prog = Program([Component("main")])
+        with pytest.raises(ValidationError):
+            prog.add_component(Component("main"))
+
+    def test_cell_signature_primitive(self):
+        prog = Program([Component("main")])
+        sig = prog.cell_signature(Cell("r", "std_reg", (8,)))
+        assert sig["in"].width == 8
+        assert sig["done"].width == 1
+
+    def test_cell_signature_user_component(self):
+        sub = Component("sub")
+        prog = Program([Component("main"), sub])
+        sig = prog.cell_signature(Cell("s", "sub"))
+        assert "go" in sig and "done" in sig
+
+
+class TestControl:
+    def tree(self):
+        return Seq(
+            [
+                Enable("a"),
+                Par([Enable("b"), Enable("c")]),
+                While(CellPort("lt", "out"), "cond", Enable("d")),
+                If(CellPort("eq", "out"), None, Enable("e"), Empty()),
+            ]
+        )
+
+    def test_walk_order(self):
+        kinds = [type(n).__name__ for n in self.tree().walk()]
+        assert kinds[0] == "Seq"
+        assert "While" in kinds and "If" in kinds
+
+    def test_enabled_groups_includes_conditions(self):
+        groups = set(self.tree().enabled_groups())
+        assert groups == {"a", "b", "c", "d", "e", "cond"}
+
+    def test_count_statements_skips_empty(self):
+        # Seq + 2 enables-in-par + par + while + enable + if + enable + enable(a)
+        assert count_control_statements(self.tree()) == 9
+
+    def test_copy_deep(self):
+        tree = self.tree()
+        clone = tree.copy()
+        clone.stmts[0] = Enable("z")
+        assert isinstance(tree.stmts[0], Enable)
+        assert tree.stmts[0].group == "a"
+
+    def test_map_control_bottom_up(self):
+        tree = self.tree()
+
+        def rename(node):
+            if isinstance(node, Enable):
+                return Enable(node.group.upper())
+            return None
+
+        out = map_control(tree, rename)
+        assert {g for g in out.enabled_groups() if g != "cond"} == {
+            "A",
+            "B",
+            "C",
+            "D",
+            "E",
+        }
+
+    def test_replace_children_on_leaf_raises(self):
+        with pytest.raises(ValueError):
+            Enable("a").replace_children([Empty()])
+
+    def test_invoke_copy(self):
+        inv = Invoke("cell", {"left": ConstPort(32, 1)}, {})
+        clone = inv.copy()
+        clone.in_binds["left"] = ConstPort(32, 2)
+        assert inv.in_binds["left"].value == 1

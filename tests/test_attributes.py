@@ -1,0 +1,66 @@
+"""Unit tests for attributes (paper Section 3.5)."""
+
+import pytest
+
+from repro.ir.attributes import Attributes, STATIC, SHARE
+
+
+class TestAttributes:
+    def test_empty(self):
+        attrs = Attributes()
+        assert len(attrs) == 0
+        assert not attrs
+        assert attrs.get(STATIC) is None
+        assert attrs.to_string() == ""
+
+    def test_set_get(self):
+        attrs = Attributes()
+        attrs.set(STATIC, 4)
+        assert attrs.get(STATIC) == 4
+        assert attrs.has(STATIC)
+        assert STATIC in attrs
+        assert attrs[STATIC] == 4
+
+    def test_get_default(self):
+        assert Attributes().get("missing", 7) == 7
+
+    def test_setitem(self):
+        attrs = Attributes()
+        attrs[SHARE] = 1
+        assert attrs[SHARE] == 1
+
+    def test_overwrite(self):
+        attrs = Attributes({STATIC: 1})
+        attrs.set(STATIC, 2)
+        assert attrs.get(STATIC) == 2
+
+    def test_remove(self):
+        attrs = Attributes({STATIC: 1})
+        attrs.remove(STATIC)
+        assert not attrs.has(STATIC)
+        attrs.remove(STATIC)  # idempotent
+
+    def test_values_coerced_to_int(self):
+        attrs = Attributes()
+        attrs.set(STATIC, "3")
+        assert attrs.get(STATIC) == 3
+
+    def test_copy_is_independent(self):
+        attrs = Attributes({STATIC: 1})
+        clone = attrs.copy()
+        clone.set(STATIC, 9)
+        assert attrs.get(STATIC) == 1
+
+    def test_equality(self):
+        assert Attributes({SHARE: 1}) == Attributes({SHARE: 1})
+        assert Attributes({SHARE: 1}) != Attributes({SHARE: 2})
+
+    def test_to_string(self):
+        attrs = Attributes({"static": 2, "share": 1})
+        assert attrs.to_string() == '<"static"=2, "share"=1>'
+
+    def test_iteration_order(self):
+        attrs = Attributes()
+        attrs.set("b", 1)
+        attrs.set("a", 2)
+        assert list(attrs) == ["b", "a"]

@@ -1,0 +1,140 @@
+"""Tests for the Verilog backend and the resource estimator."""
+
+import pytest
+
+from repro.backend import emit_verilog, estimate_resources
+from repro.backend.resources import count_register_cells
+from repro.backend.verilog import verilog_loc
+from repro.errors import PassError
+from repro.ir import parse_program
+from repro.passes import compile_program, get_pass
+from tests.conftest import SUM_LOOP, TWO_WRITES
+
+
+def lowered(source=SUM_LOOP, pipeline="lower"):
+    prog = parse_program(source)
+    compile_program(prog, pipeline)
+    return prog
+
+
+class TestVerilog:
+    def test_requires_lowered_program(self):
+        with pytest.raises(PassError):
+            emit_verilog(parse_program(TWO_WRITES))
+
+    def test_module_structure(self):
+        text = emit_verilog(lowered())
+        assert "module main (" in text
+        assert "endmodule" in text
+        assert "input  logic clk" in text
+
+    def test_prelude_contains_used_primitives(self):
+        text = emit_verilog(lowered())
+        assert "module std_reg" in text
+        assert "module std_mem_d1" in text
+        assert "module std_add" in text
+        # unused primitives are not emitted
+        assert "module std_div_pipe" not in text
+
+    def test_no_prelude_option(self):
+        text = emit_verilog(lowered(), include_prelude=False)
+        assert "module std_reg" not in text
+        assert "module main (" in text
+
+    def test_cells_instantiated_with_parameters(self):
+        text = emit_verilog(lowered())
+        assert "std_mem_d1 #(.WIDTH(32), .SIZE(4), .IDX_SIZE(2)) mem (" in text
+
+    def test_guarded_assignment_becomes_mux_chain(self):
+        text = emit_verilog(lowered())
+        assert " ? " in text and " : " in text
+
+    def test_loc_counts(self):
+        assert verilog_loc(lowered()) > 100
+
+    def test_hierarchical_emission(self):
+        src = """
+component sub(v: 8) -> (r: 8) {
+  cells { a = std_add(8); }
+  wires { a.left = v; a.right = 8'd1; r = a.out; }
+  control {}
+}
+component main(go: 1) -> (done: 1) {
+  cells { s = sub(); q = std_reg(8); }
+  wires {
+    s.v = 8'd1;
+    group g { q.in = s.r; q.write_en = 1; g[done] = q.done; }
+  }
+  control { g; }
+}
+"""
+        text = emit_verilog(lowered(src))
+        assert "module sub (" in text
+        assert "sub s (" in text
+
+
+class TestResources:
+    def test_totals_positive(self):
+        res = estimate_resources(lowered())
+        assert res.luts > 0
+        assert res.registers > 0
+
+    def test_sharing_reduces_register_count(self):
+        base = lowered(SUM_LOOP, "lower-static")
+        shared = lowered(SUM_LOOP, "register-share-only")
+        assert (
+            count_register_cells(shared) <= count_register_cells(base)
+        )
+
+    def test_mux_cost_charged_for_multiple_drivers(self):
+        res = estimate_resources(lowered())
+        assert res.detail.get("mux", 0) > 0
+
+    def test_guard_cost_charged(self):
+        res = estimate_resources(lowered())
+        assert res.detail.get("guards", 0) > 0
+
+    def test_register_cells_counts_hierarchy(self):
+        src = """
+component sub(go: 1) -> (done: 1) {
+  cells { r = std_reg(8); }
+  wires {
+    group g { r.in = 8'd1; r.write_en = 1; g[done] = r.done; }
+  }
+  control { g; }
+}
+component main(go: 1) -> (done: 1) {
+  cells { s1 = sub(); s2 = sub(); }
+  wires {}
+  control { seq { invoke s1()(); invoke s2()(); } }
+}
+"""
+        prog = parse_program(src)
+        # count before lowering: 2 instances x 1 register
+        assert count_register_cells(prog) == 2
+
+    def test_dsp_and_bram_counted(self):
+        src = """
+component main(go: 1) -> (done: 1) {
+  cells {
+    m = std_mult_pipe(32);
+    @external big = std_mem_d1(32, 256, 8);
+    r = std_reg(32);
+  }
+  wires {
+    group g {
+      m.left = 32'd2; m.right = 32'd3;
+      m.go = !m.done ? 1;
+      g[done] = m.done;
+    }
+    group st {
+      big.addr0 = 8'd0; big.write_data = m.out; big.write_en = 1;
+      st[done] = big.done;
+    }
+  }
+  control { seq { g; st; } }
+}
+"""
+        res = estimate_resources(lowered(src))
+        assert res.dsps > 0
+        assert res.brams > 0

@@ -1,0 +1,161 @@
+"""Tests for the builder API used by frontends."""
+
+import pytest
+
+from repro.errors import UndefinedError, ValidationError
+from repro.ir.ast import CellPort, ConstPort, ThisPort
+from repro.ir.builder import (
+    Builder,
+    as_control,
+    as_guard,
+    cmp,
+    const,
+    guard,
+    if_,
+    invoke,
+    par,
+    seq,
+    while_,
+)
+from repro.ir.control import Enable, If, Invoke, Par, Seq, While
+from repro.ir.validate import validate_program
+from repro.sim import run_program
+
+
+class TestCells:
+    def test_cell_handle_ports(self):
+        b = Builder()
+        main = b.component("main")
+        r = main.reg("r", 8)
+        assert r.out == CellPort("r", "out")
+        assert r.in_ == CellPort("r", "in")
+        assert r.port_width("in") == 8
+
+    def test_unknown_port_rejected(self):
+        b = Builder()
+        main = b.component("main")
+        r = main.reg("r", 8)
+        with pytest.raises(UndefinedError):
+            r.port("bogus")
+
+    def test_helpers(self):
+        b = Builder()
+        main = b.component("main")
+        assert main.add("a", 4).cell.comp_name == "std_add"
+        assert main.sub("s", 4).cell.comp_name == "std_sub"
+        assert main.mult_pipe("m", 4).cell.comp_name == "std_mult_pipe"
+        assert main.mem_d1("mm", 8, 4, 2).cell.args == (8, 4, 2)
+        assert main.mem_d2("m2", 8, 2, 2, 1, 1).cell.args == (8, 2, 2, 1, 1)
+
+    def test_external_flag(self):
+        b = Builder()
+        main = b.component("main")
+        m = main.mem_d1("m", 8, 4, 2, external=True)
+        assert m.cell.external
+
+
+class TestGroups:
+    def test_int_sources_sized(self):
+        b = Builder()
+        main = b.component("main")
+        r = main.reg("r", 8)
+        with main.group("g") as g:
+            a = g.assign(r.in_, 3)
+            assert a.src == ConstPort(8, 3)
+            en = g.assign(r.write_en, 1)
+            assert en.src == ConstPort(1, 1)
+            g.done(r.done)
+        assert len(main.component.get_group("g").assignments) == 3
+
+    def test_done_on_comb_group_rejected(self):
+        b = Builder()
+        main = b.component("main")
+        r = main.reg("r", 8)
+        g = main.comb_group("c")
+        with pytest.raises(ValidationError):
+            g.done(r.done)
+
+    def test_static_attribute(self):
+        b = Builder()
+        main = b.component("main")
+        g = main.group("g", static=2)
+        assert g.group.attributes.get("static") == 2
+
+    def test_guard_coercion(self):
+        b = Builder()
+        main = b.component("main")
+        r = main.reg("r", 1)
+        lt = main.cell("lt", "std_lt", 4)
+        with main.group("g") as g:
+            a = g.assign(r.in_, 1, guard=lt.out)
+            assert a.guard == as_guard(lt.out)
+            g.done(r.done)
+
+    def test_continuous(self):
+        b = Builder()
+        main = b.component("main")
+        r = main.reg("r", 1)
+        main.continuous(main.this("done"), r.out)
+        assert len(main.component.continuous) == 1
+
+
+class TestControlConstructors:
+    def test_seq_par_accept_names_and_builders(self):
+        b = Builder()
+        main = b.component("main")
+        r = main.reg("r", 1)
+        with main.group("g") as g:
+            g.assign(r.in_, 1)
+            g.assign(r.write_en, 1)
+            g.done(r.done)
+        ctrl = seq(g, "g", par(g))
+        assert isinstance(ctrl, Seq)
+        assert isinstance(ctrl.stmts[0], Enable)
+        assert isinstance(ctrl.stmts[2], Par)
+
+    def test_if_while(self):
+        port = CellPort("lt", "out")
+        node = if_(port, "cond", "t", "f")
+        assert isinstance(node, If)
+        assert node.cond_group == "cond"
+        loop = while_(port, None, "body")
+        assert isinstance(loop, While)
+        assert loop.cond_group is None
+
+    def test_invoke_constructor(self):
+        node = invoke("pe", {"left": const(32, 1)}, {})
+        assert isinstance(node, Invoke)
+        assert node.in_binds["left"] == ConstPort(32, 1)
+
+    def test_invoke_rejects_bare_int(self):
+        with pytest.raises(ValidationError):
+            invoke("pe", {"left": 1}, {})
+
+    def test_as_control_rejects_junk(self):
+        with pytest.raises(ValidationError):
+            as_control(42)
+
+
+class TestEndToEnd:
+    def test_built_program_validates_and_runs(self):
+        b = Builder()
+        main = b.component("main")
+        mem = main.mem_d1("mem", 32, 2, 1, external=True)
+        r = main.reg("r", 32)
+        a = main.add("a", 32)
+        with main.group("load") as load:
+            load.assign(mem.addr0, const(1, 0))
+            load.assign(r.in_, mem.read_data)
+            load.assign(r.write_en, 1)
+            load.done(r.done)
+        with main.group("store") as store:
+            store.assign(a.left, r.out)
+            store.assign(a.right, 10)
+            store.assign(mem.addr0, const(1, 1))
+            store.assign(mem.write_data, a.out)
+            store.assign(mem.write_en, 1)
+            store.done(mem.done)
+        main.control = seq(load, store)
+        validate_program(b.program)
+        result = run_program(b.program, memories={"mem": [5, 0]})
+        assert result.mem("mem") == [5, 15]

@@ -1,0 +1,88 @@
+"""Tests for the command-line driver and the runnable examples."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from tests.conftest import SUM_LOOP
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+
+@pytest.fixture
+def futil_file(tmp_path):
+    path = tmp_path / "sum.futil"
+    path.write_text(SUM_LOOP)
+    return str(path)
+
+
+@pytest.fixture
+def dahlia_file(tmp_path):
+    path = tmp_path / "k.dahlia"
+    path.write_text(
+        "decl a: ubit<32>[4];\nfor (let i = 0..4) { a[i] := a[i] + 1 }"
+    )
+    return str(path)
+
+
+class TestCli:
+    def test_compile_emits_calyx(self, futil_file, capsys):
+        assert cli_main(["compile", futil_file, "-p", "lower"]) == 0
+        out = capsys.readouterr().out
+        assert "component main" in out
+        assert "group" not in out  # lowered
+
+    def test_compile_emits_verilog(self, futil_file, capsys):
+        cli_main(["compile", futil_file, "--emit", "verilog"])
+        out = capsys.readouterr().out
+        assert "module main (" in out
+
+    def test_run_reports_cycles_and_memories(self, futil_file, capsys):
+        cli_main(["run", futil_file, "--mem", "mem=1,2,3,4"])
+        out = capsys.readouterr().out
+        assert "cycles:" in out
+        assert "mem = [10, 2, 3, 4]" in out
+
+    def test_run_interpret_mode(self, futil_file, capsys):
+        cli_main(["run", futil_file, "--interpret", "--mem", "mem=1,2,3,4"])
+        assert "mem = [10, 2, 3, 4]" in capsys.readouterr().out
+
+    def test_resources(self, futil_file, capsys):
+        cli_main(["resources", futil_file])
+        assert "LUTs=" in capsys.readouterr().out
+
+    def test_dahlia_subcommand(self, dahlia_file, capsys):
+        cli_main(["dahlia", dahlia_file, "-p", "validate"])
+        assert "component main" in capsys.readouterr().out
+
+    def test_systolic_subcommand(self, capsys):
+        cli_main(["systolic", "2", "-p", "validate"])
+        out = capsys.readouterr().out
+        assert "mac_pe" in out
+
+    def test_bad_pipeline_rejected(self, futil_file):
+        with pytest.raises(SystemExit):
+            cli_main(["compile", futil_file, "-p", "bogus"])
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "systolic_matmul.py",
+        "dahlia_kernel.py",
+        "resource_sharing_demo.py",
+    ],
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]

@@ -1,0 +1,204 @@
+"""Tests for the mini-Dahlia frontend: lexer, parser, typechecker."""
+
+import pytest
+
+from repro.errors import ParseError, TypeError_
+from repro.frontends.dahlia import parse, typecheck
+from repro.frontends.dahlia.ast import (
+    ArrayType,
+    AssignMem,
+    AssignVar,
+    BinOp,
+    For,
+    If,
+    IntLit,
+    Let,
+    MemRead,
+    OrderedSeq,
+    UBit,
+    UnorderedSeq,
+    VarRef,
+    While,
+)
+from repro.frontends.dahlia.lexer import tokenize
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("let x := 0..8 --- // comment\n y")
+        kinds = [t.kind for t in tokens]
+        assert "SEP" in kinds
+        assert "RANGE" in kinds
+        assert kinds[-1] == "EOF"
+
+    def test_keywords_tagged(self):
+        tokens = tokenize("for unroll bank")
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+    def test_error_position(self):
+        with pytest.raises(ParseError):
+            tokenize("let x = `")
+
+
+class TestParser:
+    def test_decl(self):
+        prog = parse("decl A: ubit<32>[8 bank 2][4];\nA[0][0] := 1")
+        assert prog.decls[0].name == "A"
+        assert prog.decls[0].type.dims == [(8, 2), (4, 1)]
+
+    def test_let_with_type(self):
+        prog = parse("let x: ubit<8> = 1 + 2")
+        assert isinstance(prog.body, Let)
+        assert prog.body.type == UBit(8)
+
+    def test_ordered_vs_unordered(self):
+        prog = parse("let a: ubit<8> = 1; let b: ubit<8> = 2 --- a := b")
+        assert isinstance(prog.body, OrderedSeq)
+        assert isinstance(prog.body.stmts[0], UnorderedSeq)
+
+    def test_for_with_unroll(self):
+        prog = parse("decl A: ubit<8>[4];\nfor (let i = 0..4) unroll 2 { A[i] := 1 }")
+        loop = prog.body
+        assert isinstance(loop, For)
+        assert loop.unroll == 2
+        assert (loop.start, loop.end) == (0, 4)
+
+    def test_if_else(self):
+        prog = parse(
+            "let x: ubit<8> = 1 --- if (x < 2) { x := 1 } else { x := 0 }"
+        )
+        cond = prog.body.stmts[1]
+        assert isinstance(cond, If)
+        assert cond.orelse is not None
+
+    def test_while(self):
+        prog = parse("let x: ubit<8> = 0 --- while (x < 4) { x := x + 1 }")
+        assert isinstance(prog.body.stmts[1], While)
+
+    def test_precedence(self):
+        prog = parse("let x: ubit<8> = 1 + 2 * 3")
+        init = prog.body.init
+        assert isinstance(init, BinOp) and init.op == "+"
+        assert isinstance(init.right, BinOp) and init.right.op == "*"
+
+    def test_memory_access(self):
+        prog = parse("decl A: ubit<8>[4][4];\nA[1][2] := A[2][1]")
+        stmt = prog.body
+        assert isinstance(stmt, AssignMem)
+        assert isinstance(stmt.value, MemRead)
+        assert len(stmt.value.indices) == 2
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ParseError):
+            parse("for (let i = 4..0) { i := 1 }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("let x: ubit<8> = 1 }")
+
+
+class TestTypecheck:
+    def check(self, src):
+        return typecheck(parse(src))
+
+    def test_widths_annotated(self):
+        prog = self.check("decl A: ubit<16>[4];\nlet x: ubit<16> = A[0] + 1")
+        assert prog.body.init.width == 16
+
+    def test_let_width_inferred(self):
+        prog = self.check("decl A: ubit<16>[4];\nlet x = A[1]")
+        assert prog.body.type == UBit(16)
+
+    def test_uninferable_let_rejected(self):
+        with pytest.raises(TypeError_):
+            self.check("let x = 3")
+
+    def test_undefined_variable(self):
+        with pytest.raises(TypeError_):
+            self.check("y := 1")
+
+    def test_undefined_memory(self):
+        with pytest.raises(TypeError_):
+            self.check("A[0] := 1")
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(TypeError_):
+            self.check("decl A: ubit<8>[4][4];\nA[0] := 1")
+
+    def test_redefinition_same_scope(self):
+        with pytest.raises(TypeError_):
+            self.check("let x: ubit<8> = 1 --- let x: ubit<8> = 2")
+
+    def test_shadowing_in_loop_ok(self):
+        self.check(
+            "decl A: ubit<8>[4];\n"
+            "for (let i = 0..4) { let t: ubit<8> = 1 --- A[i] := t }"
+        )
+
+    def test_unordered_write_write_conflict(self):
+        with pytest.raises(TypeError_):
+            self.check("let x: ubit<8> = 0 --- x := 1; x := 2")
+
+    def test_unordered_read_write_conflict(self):
+        with pytest.raises(TypeError_):
+            self.check(
+                "let x: ubit<8> = 0; let y: ubit<8> = 0 --- x := 1; y := x"
+            )
+
+    def test_unordered_memory_read_read_conflict(self):
+        with pytest.raises(TypeError_):
+            self.check(
+                "decl A: ubit<8>[4];\nlet x = A[0]; let y = A[1]"
+            )
+
+    def test_unordered_independent_ok(self):
+        self.check("let x: ubit<8> = 1; let y: ubit<8> = 2")
+
+    def test_unroll_must_divide_trip(self):
+        with pytest.raises(TypeError_):
+            self.check(
+                "decl A: ubit<8>[5 bank 3];\n"
+                "for (let i = 0..5) unroll 3 { A[i] := 1 }"
+            )
+
+    def test_banked_dim_needs_unroll_var(self):
+        with pytest.raises(TypeError_):
+            self.check(
+                "decl A: ubit<8>[4 bank 2];\n"
+                "for (let i = 0..4) unroll 2 { A[0] := 1 }"
+            )
+
+    def test_bank_factor_must_match_unroll(self):
+        with pytest.raises(TypeError_):
+            self.check(
+                "decl A: ubit<8>[4 bank 4];\n"
+                "for (let i = 0..4) unroll 2 { A[i] := 1 }"
+            )
+
+    def test_unbanked_dim_cannot_use_unroll_var(self):
+        with pytest.raises(TypeError_):
+            self.check(
+                "decl A: ubit<8>[4];\n"
+                "for (let i = 0..4) unroll 2 { A[i] := 1 }"
+            )
+
+    def test_write_to_outer_var_in_unrolled_body(self):
+        with pytest.raises(TypeError_):
+            self.check(
+                "decl A: ubit<8>[4 bank 2];\n"
+                "let acc: ubit<8> = 0\n"
+                "---\n"
+                "for (let i = 0..4) unroll 2 { acc := acc + A[i] }"
+            )
+
+    def test_multiply_in_condition_rejected(self):
+        with pytest.raises(TypeError_):
+            self.check(
+                "let x: ubit<8> = 1 --- if (x * 2 > 3) { x := 0 }"
+            )
+
+    def test_valid_banked_unroll(self):
+        self.check(
+            "decl A: ubit<8>[4 bank 2];\n"
+            "for (let i = 0..4) unroll 2 { A[i] := 1 }"
+        )

@@ -1,0 +1,90 @@
+"""Smoke tests for the evaluation harness (small sizes for speed)."""
+
+import pytest
+
+from repro.eval.common import evaluate_dahlia_kernel, evaluate_systolic, geomean
+from repro.eval.fig7_systolic import run as fig7_run, report as fig7_report
+from repro.eval.fig8_polybench import measure as fig8_measure, report as fig8_report
+from repro.eval.fig9_opts import (
+    report_sensitive,
+    report_sharing,
+    run_sensitive,
+    run_sharing,
+)
+from repro.eval.report import render_table
+from repro.eval.table_stats import gemver_stats, systolic_stats
+from repro.workloads.polybench import get_kernel
+
+
+class TestCommon:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_evaluate_systolic(self):
+        metrics = evaluate_systolic(2, "lower-static")
+        assert metrics.cycles and metrics.cycles > 0
+        assert metrics.luts > 0
+        assert metrics.compile_seconds > 0
+
+    def test_evaluate_without_simulation(self):
+        metrics = evaluate_systolic(2, "lower", simulate=False)
+        assert metrics.cycles is None
+        assert metrics.luts > 0
+
+    def test_evaluate_dahlia_kernel(self):
+        metrics = evaluate_dahlia_kernel(get_kernel("trisolv", 4), simulate=True)
+        assert metrics.cycles and metrics.cycles > 0
+
+    def test_render_table(self):
+        text = render_table("T", ["a", "b"], [[1, 2.5], ["x", "y"]])
+        assert "T" in text and "2.50" in text
+
+
+class TestFig7:
+    def test_small_run(self):
+        rows = fig7_run(sizes=[2], simulate=True)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.hls_cycles > row.systolic_cycles  # systolic wins
+        assert row.sensitive_speedup > 1.5
+        text = fig7_report(rows)
+        assert "paper: 4.6x" in text
+
+
+class TestFig8:
+    def test_one_kernel(self):
+        row = fig8_measure(get_kernel("trisolv", 4), unrolled=False)
+        assert row.calyx_cycles > row.hls_cycles  # HLS wins (pipelining)
+        assert row.slowdown > 1
+        text = fig8_report([row])
+        assert "trisolv" in text
+
+
+class TestFig9:
+    def test_sharing_rows(self):
+        rows = run_sharing(n=4, kernels=["mvt"])
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.baseline_luts > 0
+        assert row.register_regs <= row.baseline_regs  # sharing never adds FFs
+        assert "paper" in report_sharing(rows)
+
+    def test_sensitive_rows(self):
+        rows = run_sensitive(n=4, kernels=["trisolv"])
+        row = rows[0]
+        assert row.speedup > 1.0  # Sensitive always helps
+        assert "1.43x" in report_sensitive(rows)
+
+
+class TestStats:
+    def test_systolic_stats_2x2(self):
+        stats = systolic_stats(2)
+        assert stats.cells > 10
+        assert stats.groups > 10
+        assert stats.control_statements > 20
+        assert stats.verilog_loc > 100
+
+    def test_gemver_stats(self):
+        stats = gemver_stats(4)
+        assert stats.cells > 10
+        assert stats.compile_seconds > 0

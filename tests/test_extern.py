@@ -1,0 +1,93 @@
+"""Black-box RTL (extern) components — paper Section 6.2's sqrt example.
+
+Externs have no Calyx body; simulation uses a registered Python model and
+code generation leaves the module definition to the linked file. A
+data-dependent-latency sqrt mixes latency-insensitive compilation with
+static neighbors (the paper's headline compositionality claim).
+"""
+
+import pytest
+
+from repro.backend import emit_verilog
+from repro.ir import parse_program
+from repro.ir.attributes import STATIC
+from repro.passes import compile_program, get_pass
+from repro.sim import run_program
+from repro.stdlib.behaviors import EXTERN_MODELS, SqrtModel
+
+SQRT_PROGRAM = """
+extern "sqrt.sv" {
+  component sqrt(in: 32, go: 1) -> (out: 32, done: 1);
+}
+component main(go: 1) -> (done: 1) {
+  cells {
+    s = sqrt();
+    @external mem = std_mem_d1(32, 2, 1);
+    r = std_reg(32);
+  }
+  wires {
+    group load {
+      mem.addr0 = 1'd0;
+      r.in = mem.read_data; r.write_en = 1;
+      load[done] = r.done;
+    }
+    group root {
+      s.in = r.out;
+      s.go = !s.done ? 1;
+      root[done] = s.done;
+    }
+    group store {
+      mem.addr0 = 1'd1;
+      mem.write_data = s.out;
+      mem.write_en = 1;
+      store[done] = mem.done;
+    }
+  }
+  control { seq { load; root; store; } }
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def register_sqrt_model():
+    EXTERN_MODELS["sqrt"] = lambda args: SqrtModel((32,))
+    yield
+    EXTERN_MODELS.pop("sqrt", None)
+
+
+class TestExternSimulation:
+    def test_interpreted(self):
+        result = run_program(parse_program(SQRT_PROGRAM), memories={"mem": [144, 0]})
+        assert result.mem("mem") == [144, 12]
+
+    @pytest.mark.parametrize("pipeline", ["lower", "lower-static", "all"])
+    def test_lowered(self, pipeline):
+        prog = parse_program(SQRT_PROGRAM)
+        compile_program(prog, pipeline)
+        result = run_program(prog, memories={"mem": [625, 0]})
+        assert result.mem("mem") == [625, 25]
+
+    def test_latency_depends_on_data(self):
+        small = run_program(parse_program(SQRT_PROGRAM), memories={"mem": [4, 0]})
+        big = run_program(
+            parse_program(SQRT_PROGRAM), memories={"mem": [1 << 30, 0]}
+        )
+        assert big.cycles > small.cycles
+
+    def test_sqrt_group_stays_dynamic(self):
+        """No static latency can be inferred for the extern call, but the
+        neighbors still get one — graceful mixing (Section 4.4)."""
+        prog = parse_program(SQRT_PROGRAM)
+        get_pass("infer-latency").run(prog)
+        assert not prog.main.get_group("root").attributes.has(STATIC)
+        assert prog.main.get_group("load").attributes.get(STATIC) == 1
+        assert prog.main.get_group("store").attributes.get(STATIC) == 1
+
+
+class TestExternCodegen:
+    def test_verilog_instantiates_but_does_not_define(self):
+        prog = parse_program(SQRT_PROGRAM)
+        compile_program(prog, "lower")
+        text = emit_verilog(prog)
+        assert "sqrt s (" in text
+        assert "module sqrt" not in text  # linked from sqrt.sv

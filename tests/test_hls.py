@@ -1,0 +1,132 @@
+"""Tests for the HLS baseline model (the Vivado HLS substitute)."""
+
+import pytest
+
+from repro.errors import TypeError_
+from repro.frontends.dahlia import parse, typecheck
+from repro.hls import HlsConfig, schedule_program
+from repro.workloads.matmul import hls_matmul_report, hls_matmul_source
+
+
+def report(src, **config):
+    prog = typecheck(parse(src))
+    return schedule_program(prog, HlsConfig(**config))
+
+
+SIMPLE_LOOP = """
+decl a: ubit<32>[8];
+decl b: ubit<32>[8];
+for (let i = 0..8) {
+  b[i] := a[i] + 1
+}
+"""
+
+
+class TestPipelinedScheduling:
+    def test_simple_loop_ii_one(self):
+        rep = report(SIMPLE_LOOP)
+        # depth + II*(trip-1) + overhead: roughly trip + small constant
+        assert 8 <= rep.latency_cycles <= 16
+
+    def test_latency_scales_with_trip_count(self):
+        small = report(SIMPLE_LOOP)
+        big = report(SIMPLE_LOOP.replace("[8]", "[32]").replace("0..8", "0..32"))
+        assert big.latency_cycles > small.latency_cycles
+
+    def test_recurrence_raises_ii(self):
+        acc = """
+decl a: ubit<32>[8];
+for (let i = 0..8) {
+  a[i] := a[i] + 1
+}
+"""
+        rep_acc = report(acc)
+        rep_simple = report(SIMPLE_LOOP)
+        assert rep_acc.latency_cycles > rep_simple.latency_cycles
+
+    def test_port_contention_raises_ii(self):
+        two_reads = """
+decl a: ubit<32>[8];
+decl b: ubit<32>[8];
+for (let i = 0..8) {
+  b[i] := a[i] + a[7 - i] + 1
+}
+"""
+        assert report(two_reads).latency_cycles >= report(SIMPLE_LOOP).latency_cycles
+
+    def test_banking_restores_ii(self):
+        banked = """
+decl a: ubit<32>[8 bank 2];
+decl b: ubit<32>[8 bank 2];
+for (let i = 0..8) unroll 2 {
+  b[i] := a[i] + 1
+}
+"""
+        rep_banked = report(banked)
+        rep_plain = report(SIMPLE_LOOP)
+        assert rep_banked.latency_cycles <= rep_plain.latency_cycles
+
+    def test_outer_loops_multiply(self):
+        nest = """
+decl a: ubit<32>[4][4];
+for (let i = 0..4) {
+  for (let j = 0..4) {
+    a[i][j] := a[i][j] + 1
+  }
+}
+"""
+        rep = report(nest)
+        assert rep.latency_cycles >= 4 * 4
+
+    def test_multiplier_adds_depth(self):
+        mul = SIMPLE_LOOP.replace("a[i] + 1", "a[i] * 3")
+        assert report(mul).latency_cycles > report(SIMPLE_LOOP).latency_cycles
+
+    def test_while_rejected(self):
+        src = "let x: ubit<8> = 0 --- while (x < 4) { x := x + 1 }"
+        with pytest.raises(TypeError_):
+            report(src)
+
+
+class TestNonPipelined:
+    def test_sequential_mode_slower(self):
+        pipelined = report(SIMPLE_LOOP, pipeline_innermost=True)
+        sequential = report(SIMPLE_LOOP, pipeline_innermost=False)
+        assert sequential.latency_cycles >= pipelined.latency_cycles
+
+    def test_matmul_baseline_grows_cubically(self):
+        r2 = hls_matmul_report(2).latency_cycles
+        r4 = hls_matmul_report(4).latency_cycles
+        r8 = hls_matmul_report(8).latency_cycles
+        assert r4 / r2 > 4  # superquadratic growth
+        assert r8 / r4 > 4
+
+    def test_matmul_source_parses_untypechecked(self):
+        # The baseline kernel intentionally violates Dahlia's banking
+        # rules (that's the point of the comparison).
+        prog = parse(hls_matmul_source(4))
+        with pytest.raises(TypeError_):
+            typecheck(prog)
+
+
+class TestHlsResources:
+    def test_unrolling_multiplies_operators(self):
+        plain = report(SIMPLE_LOOP)
+        unrolled = report(
+            """
+decl a: ubit<32>[8 bank 4];
+decl b: ubit<32>[8 bank 4];
+for (let i = 0..8) unroll 4 {
+  b[i] := a[i] + 1
+}
+"""
+        )
+        assert unrolled.resources.luts > plain.resources.luts
+
+    def test_mults_use_dsps(self):
+        rep = report(SIMPLE_LOOP.replace("a[i] + 1", "a[i] * 3"))
+        assert rep.resources.dsps > 0
+
+    def test_report_str(self):
+        rep = report(SIMPLE_LOOP)
+        assert "cycles" in str(rep)

@@ -1,0 +1,210 @@
+"""Tests for the Calyx surface-syntax parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir import parse_program, print_program
+from repro.ir.ast import CellPort, ConstPort, HolePort, ThisPort
+from repro.ir.control import Enable, If, Invoke, Par, Seq, While
+from repro.ir.guards import AndGuard, CmpGuard, NotGuard, OrGuard, PortGuard, TrueGuard
+
+
+def parse_one(source):
+    return parse_program(source).components[0]
+
+
+MINIMAL = """
+component main(go: 1) -> (done: 1) {
+  cells { r = std_reg(32); }
+  wires {
+    group g { r.in = 32'd1; r.write_en = 1; g[done] = r.done; }
+  }
+  control { g; }
+}
+"""
+
+
+class TestParserBasics:
+    def test_minimal(self):
+        comp = parse_one(MINIMAL)
+        assert comp.name == "main"
+        assert "r" in comp.cells
+        assert "g" in comp.groups
+        assert isinstance(comp.control, Enable)
+
+    def test_comments_ignored(self):
+        src = "// leading\n" + MINIMAL.replace(
+            "cells {", "cells { /* block\ncomment */"
+        )
+        assert parse_one(src).name == "main"
+
+    def test_import_accepted_and_ignored(self):
+        prog = parse_program('import "primitives/core.futil";\n' + MINIMAL)
+        assert len(prog.components) == 1
+
+    def test_cell_args(self):
+        comp = parse_one(MINIMAL.replace("std_reg(32)", "std_mem_d1(32, 4, 2)"))
+        assert comp.cells["r"].args == (32, 4, 2)
+
+    def test_external_cell(self):
+        comp = parse_one(MINIMAL.replace("r = std_reg", "@external r = std_reg"))
+        assert comp.cells["r"].external
+
+    def test_group_attributes(self):
+        comp = parse_one(MINIMAL.replace("group g {", 'group g<"static"=1> {'))
+        assert comp.groups["g"].attributes.get("static") == 1
+
+    def test_component_attribute(self):
+        comp = parse_one(MINIMAL.replace("component main", "@toplevel component main"))
+        assert comp.attributes.get("toplevel") == 1
+
+    def test_bare_int_sized_from_destination(self):
+        comp = parse_one(MINIMAL)
+        srcs = {a.src for a in comp.groups["g"].assignments}
+        assert ConstPort(1, 1) in srcs  # write_en = 1 became 1'd1
+
+    def test_unsizable_literal_rejected(self):
+        src = MINIMAL.replace("r.in = 32'd1;", "bad.in = 1;")
+        with pytest.raises(Exception):
+            parse_program(src)
+
+    def test_error_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("component main( -> ) {}")
+        assert "found" in str(err.value)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("component $ main() -> () {}")
+
+
+class TestGuardsParsing:
+    def template(self, guard_text):
+        return f"""
+component main(go: 1) -> (done: 1) {{
+  cells {{ r = std_reg(1); c = std_lt(4); }}
+  wires {{
+    group g {{
+      r.in = {guard_text} ? 1'd1;
+      r.write_en = 1;
+      g[done] = r.done;
+    }}
+  }}
+  control {{ g; }}
+}}
+"""
+
+    def guard_of(self, text):
+        comp = parse_one(self.template(text))
+        return comp.groups["g"].assignments[0].guard
+
+    def test_port_guard(self):
+        assert self.guard_of("c.out") == PortGuard(CellPort("c", "out"))
+
+    def test_not(self):
+        assert isinstance(self.guard_of("!c.out"), NotGuard)
+
+    def test_and_or_precedence(self):
+        g = self.guard_of("c.out & !c.out | c.out")
+        assert isinstance(g, OrGuard)
+        assert isinstance(g.left, AndGuard)
+
+    def test_parentheses(self):
+        g = self.guard_of("c.out & (c.out | c.out)")
+        assert isinstance(g, AndGuard)
+        assert isinstance(g.right, OrGuard)
+
+    def test_comparison(self):
+        g = self.guard_of("c.left == 4'd2")
+        assert isinstance(g, CmpGuard)
+        assert g.op == "=="
+
+    def test_comparison_with_bare_literal(self):
+        g = self.guard_of("c.left < 2")
+        assert isinstance(g, CmpGuard)
+        assert g.right == ConstPort(4, 2)
+
+    def test_unguarded_assignment(self):
+        comp = parse_one(self.template("c.out").replace("c.out ? 1'd1", "1'd1"))
+        assert isinstance(comp.groups["g"].assignments[0].guard, TrueGuard)
+
+
+class TestControlParsing:
+    def control_of(self, text):
+        src = f"""
+component main(go: 1) -> (done: 1) {{
+  cells {{ r = std_reg(1); lt = std_lt(4); sub = std_reg(1); }}
+  wires {{
+    group a {{ r.in = 1'd1; r.write_en = 1; a[done] = r.done; }}
+    group b {{ r.in = 1'd0; r.write_en = 1; b[done] = r.done; }}
+    group c {{ lt.left = 4'd0; c[done] = 1'd1; }}
+  }}
+  control {{ {text} }}
+}}
+"""
+        return parse_program(src).components[0].control
+
+    def test_seq(self):
+        ctrl = self.control_of("seq { a; b; }")
+        assert isinstance(ctrl, Seq)
+        assert len(ctrl.stmts) == 2
+
+    def test_par(self):
+        assert isinstance(self.control_of("par { a; b; }"), Par)
+
+    def test_nested(self):
+        ctrl = self.control_of("seq { a; par { a; b; } }")
+        assert isinstance(ctrl.stmts[1], Par)
+
+    def test_if_with_else(self):
+        ctrl = self.control_of("if lt.out with c { a; } else { b; }")
+        assert isinstance(ctrl, If)
+        assert ctrl.cond_group == "c"
+        assert isinstance(ctrl.tbranch, Enable)
+        assert isinstance(ctrl.fbranch, Enable)
+
+    def test_if_without_else(self):
+        ctrl = self.control_of("if lt.out with c { a; }")
+        assert ctrl.fbranch.is_empty()
+
+    def test_if_without_cond_group(self):
+        ctrl = self.control_of("if lt.out { a; }")
+        assert ctrl.cond_group is None
+
+    def test_while(self):
+        ctrl = self.control_of("while lt.out with c { seq { a; b; } }")
+        assert isinstance(ctrl, While)
+        assert isinstance(ctrl.body, Seq)
+
+    def test_multi_stmt_branch_becomes_seq(self):
+        ctrl = self.control_of("if lt.out with c { a; b; }")
+        assert isinstance(ctrl.tbranch, Seq)
+
+    def test_invoke(self):
+        ctrl = self.control_of("invoke sub(in=r.out)();")
+        assert isinstance(ctrl, Invoke)
+        assert ctrl.cell == "sub"
+        assert "in" in ctrl.in_binds
+
+    def test_empty_control(self):
+        assert self.control_of("").is_empty()
+
+
+class TestExtern:
+    def test_extern_block(self):
+        src = """
+extern "sqrt.sv" {
+  component sqrt(in: 32, go: 1) -> (out: 32, done: 1);
+}
+component main(go: 1) -> (done: 1) {
+  cells { s = sqrt(); }
+  wires {}
+  control {}
+}
+"""
+        prog = parse_program(src)
+        assert prog.externs[0].path == "sqrt.sv"
+        assert prog.externs[0].components[0].name == "sqrt"
+        # cell signature resolves through the extern
+        sig = prog.cell_signature(prog.main.cells["s"])
+        assert sig["out"].width == 32

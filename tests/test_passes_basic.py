@@ -1,0 +1,144 @@
+"""Tests for the pass framework and the supporting cleanup passes."""
+
+import pytest
+
+from repro.errors import PassError
+from repro.ir import parse_program
+from repro.ir.ast import HolePort
+from repro.ir.control import Empty, Enable, Par, Seq
+from repro.ir.guards import AndGuard, G_TRUE, NotGuard, OrGuard, PortGuard, TrueGuard
+from repro.ir.ports import CellPort
+from repro.passes import PassManager, all_pass_names, compile_program, get_pass
+from repro.passes.guard_simplify import simplify_guard
+from tests.conftest import SUM_LOOP, TWO_WRITES
+
+
+class TestFramework:
+    def test_registry_contains_paper_passes(self):
+        names = all_pass_names()
+        for expected in (
+            "go-insertion",
+            "compile-control",
+            "remove-groups",
+            "static-compile",
+            "resource-sharing",
+            "register-sharing",
+            "infer-latency",
+        ):
+            assert expected in names
+
+    def test_unknown_pass(self):
+        with pytest.raises(PassError):
+            get_pass("frobnicate")
+
+    def test_unknown_pipeline(self):
+        with pytest.raises(PassError):
+            compile_program(parse_program(TWO_WRITES), "no-such-pipeline")
+
+    def test_manager_records_timings(self):
+        manager = PassManager(["well-formed", "collapse-control"])
+        manager.run(parse_program(TWO_WRITES))
+        assert len(manager.timings) == 2
+        assert manager.total_seconds() >= 0
+
+
+class TestGoInsertion:
+    def test_guards_added_except_done(self):
+        prog = parse_program(TWO_WRITES)
+        get_pass("go-insertion").run(prog)
+        group = prog.main.get_group("one")
+        for assign in group.assignments:
+            if isinstance(assign.dst, HolePort):
+                assert isinstance(assign.guard, TrueGuard)
+            else:
+                ports = list(assign.guard.ports())
+                assert HolePort("one", "go") in ports
+
+    def test_idempotent(self):
+        prog = parse_program(TWO_WRITES)
+        get_pass("go-insertion").run(prog)
+        before = [a.to_string() for a in prog.main.get_group("one").assignments]
+        get_pass("go-insertion").run(prog)
+        after = [a.to_string() for a in prog.main.get_group("one").assignments]
+        assert before == after
+
+
+class TestCollapseControl:
+    def collapse(self, text):
+        src = TWO_WRITES.replace("seq { one; two; }", text)
+        prog = parse_program(src)
+        get_pass("collapse-control").run(prog)
+        return prog.main.control
+
+    def test_flattens_nested_seq(self):
+        ctrl = self.collapse("seq { seq { one; } seq { two; } }")
+        assert isinstance(ctrl, Seq)
+        assert all(isinstance(c, Enable) for c in ctrl.stmts)
+        assert len(ctrl.stmts) == 2
+
+    def test_single_child_unwraps(self):
+        ctrl = self.collapse("seq { one; }")
+        assert isinstance(ctrl, Enable)
+
+    def test_empty_seq_becomes_empty(self):
+        ctrl = self.collapse("seq { }")
+        assert isinstance(ctrl, Empty)
+
+    def test_par_in_seq_preserved(self):
+        ctrl = self.collapse("seq { one; par { two; } }")
+        assert isinstance(ctrl, Seq)
+        # single-child par unwraps too
+        assert all(isinstance(c, Enable) for c in ctrl.stmts)
+
+
+class TestDeadRemoval:
+    def test_dead_group_removed(self):
+        src = TWO_WRITES.replace("seq { one; two; }", "seq { one; }")
+        prog = parse_program(src)
+        get_pass("dead-group-removal").run(prog)
+        assert "two" not in prog.main.groups
+        assert "one" in prog.main.groups
+
+    def test_dead_cell_removed(self):
+        src = TWO_WRITES.replace(
+            "cells {", "cells {\n    unused = std_add(32);"
+        )
+        prog = parse_program(src)
+        get_pass("dead-cell-removal").run(prog)
+        assert "unused" not in prog.main.cells
+        assert "x" in prog.main.cells
+
+    def test_external_cells_kept(self):
+        prog = parse_program(SUM_LOOP.replace("seq {\n      init;", "seq {\n      init;"))
+        # remove every group that touches mem, then clean cells
+        prog.main.control = Enable("init")
+        get_pass("dead-group-removal").run(prog)
+        get_pass("dead-cell-removal").run(prog)
+        assert "mem" in prog.main.cells  # @external survives
+
+    def test_cond_groups_are_live(self):
+        prog = parse_program(SUM_LOOP)
+        get_pass("dead-group-removal").run(prog)
+        assert "cond" in prog.main.groups
+
+
+class TestGuardSimplify:
+    def port(self, name="p"):
+        return PortGuard(CellPort(name, "out"))
+
+    def test_true_and(self):
+        assert simplify_guard(AndGuard(G_TRUE, self.port())) == self.port()
+
+    def test_double_negation(self):
+        assert simplify_guard(NotGuard(NotGuard(self.port()))) == self.port()
+
+    def test_idempotent_and(self):
+        assert simplify_guard(AndGuard(self.port(), self.port())) == self.port()
+
+    def test_or_with_true(self):
+        assert isinstance(simplify_guard(OrGuard(self.port(), G_TRUE)), TrueGuard)
+
+    def test_nested(self):
+        g = AndGuard(NotGuard(NotGuard(self.port("a"))), AndGuard(G_TRUE, self.port("b")))
+        out = simplify_guard(g)
+        assert out == AndGuard(self.port("a"), self.port("b"))

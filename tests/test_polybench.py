@@ -1,0 +1,108 @@
+"""Tests over the PolyBench kernel suite: construction, typechecking,
+compilation, and differential correctness for a representative subset."""
+
+import pytest
+
+from repro.frontends.dahlia import (
+    compile_dahlia,
+    compile_to_calyx,
+    interpret,
+    lower,
+    parse,
+    typecheck,
+)
+from repro.ir.validate import validate_program
+from repro.passes import compile_program
+from repro.sim import run_program
+from repro.workloads.polybench import (
+    ALL_KERNELS,
+    UNROLLABLE,
+    get_kernel,
+    polybench_kernels,
+)
+
+N = 4
+
+
+class TestSuiteStructure:
+    def test_nineteen_kernels(self):
+        assert len(ALL_KERNELS) == 19
+
+    def test_eleven_unrollable(self):
+        assert len(UNROLLABLE) == 11
+        kernels = {k.name: k for k in polybench_kernels(N)}
+        for name in UNROLLABLE:
+            assert kernels[name].unrollable, name
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            get_kernel("fft")
+
+    def test_memories_match_decls(self):
+        for kernel in polybench_kernels(N):
+            prog = typecheck(parse(kernel.source))
+            decl_names = {d.name for d in prog.decls}
+            assert decl_names == set(kernel.memories), kernel.name
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+def test_kernel_compiles_and_validates(name):
+    kernel = get_kernel(name, N)
+    design = compile_dahlia(kernel.source)
+    validate_program(design.program)
+
+
+@pytest.mark.parametrize("name", UNROLLABLE)
+def test_unrolled_variant_compiles_and_validates(name):
+    kernel = get_kernel(name, N)
+    design = compile_dahlia(kernel.unrolled_source)
+    validate_program(design.program)
+
+
+def check_kernel(name, unrolled=False, pipeline="all"):
+    kernel = get_kernel(name, N)
+    source = kernel.unrolled_source if unrolled else kernel.source
+    mems = kernel.memories_for(unrolled)
+    reference = interpret(typecheck(parse(source)), mems)
+    design = compile_dahlia(source)
+    program = design.program
+    compile_program(program, pipeline)
+    sim_mems = {}
+    for mem_name, values in mems.items():
+        sim_mems.update(design.split_memory(mem_name, values))
+    result = run_program(program, memories=sim_mems)
+    for out in kernel.outputs_for(unrolled):
+        merged = design.merge_memory(
+            out, {p: result.mem(p) for p in design.layouts[out].physical_names()}
+        )
+        assert merged == reference[out], f"{name} output {out}"
+
+
+# Full differential checks on a structurally diverse subset (covering
+# reductions, triangular guards, division, in-place updates, banking).
+@pytest.mark.parametrize(
+    "name", ["gemm", "atax", "trisolv", "lu", "symm", "durbin", "mvt"]
+)
+def test_kernel_differential(name):
+    check_kernel(name)
+
+
+@pytest.mark.parametrize("name", ["gemm", "mvt", "gesummv", "trmm"])
+def test_unrolled_kernel_differential(name):
+    check_kernel(name, unrolled=True)
+
+
+def test_unrolled_is_faster():
+    kernel = get_kernel("gemm", N)
+
+    def cycles(source, mems):
+        design = compile_dahlia(source)
+        compile_program(design.program, "all")
+        sim_mems = {}
+        for mem_name, values in mems.items():
+            sim_mems.update(design.split_memory(mem_name, values))
+        return run_program(design.program, memories=sim_mems).cycles
+
+    plain = cycles(kernel.source, kernel.memories_for(False))
+    unrolled = cycles(kernel.unrolled_source, kernel.memories_for(True))
+    assert unrolled < plain

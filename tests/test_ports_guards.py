@@ -1,0 +1,131 @@
+"""Unit tests for port references and the guard language."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.ir.guards import (
+    G_TRUE,
+    AndGuard,
+    CmpGuard,
+    NotGuard,
+    OrGuard,
+    PortGuard,
+    TrueGuard,
+    and_all,
+    or_all,
+)
+from repro.ir.ports import CellPort, ConstPort, HolePort, ThisPort
+
+
+class TestPorts:
+    def test_cell_port_string(self):
+        assert CellPort("add", "left").to_string() == "add.left"
+
+    def test_hole_port_string(self):
+        assert HolePort("grp", "go").to_string() == "grp[go]"
+
+    def test_hole_port_rejects_bad_name(self):
+        with pytest.raises(ValidationError):
+            HolePort("grp", "ready")
+
+    def test_this_port_string(self):
+        assert ThisPort("out").to_string() == "out"
+
+    def test_const_port_string(self):
+        assert ConstPort(32, 10).to_string() == "32'd10"
+
+    def test_const_normalizes_modulo_width(self):
+        assert ConstPort(4, 16).value == 0
+        assert ConstPort(4, 17).value == 1
+        assert ConstPort(4, -1).value == 15
+
+    def test_const_rejects_zero_width(self):
+        with pytest.raises(ValidationError):
+            ConstPort(0, 1)
+
+    def test_equality_and_hash(self):
+        assert CellPort("a", "b") == CellPort("a", "b")
+        assert hash(CellPort("a", "b")) == hash(CellPort("a", "b"))
+        assert CellPort("a", "b") != HolePort("a", "go")
+        assert len({CellPort("a", "b"), CellPort("a", "b")}) == 1
+
+    def test_is_hole(self):
+        assert HolePort("g", "done").is_hole()
+        assert not CellPort("a", "out").is_hole()
+
+
+class TestGuards:
+    def port(self, name="x"):
+        return CellPort(name, "out")
+
+    def test_true_guard(self):
+        assert G_TRUE.to_string() == "1"
+        assert list(G_TRUE.ports()) == []
+        assert G_TRUE.size() == 0
+
+    def test_port_guard(self):
+        g = PortGuard(self.port())
+        assert g.to_string() == "x.out"
+        assert list(g.ports()) == [self.port()]
+
+    def test_and_folds_true(self):
+        g = PortGuard(self.port())
+        assert G_TRUE.and_(g) is g
+        assert g.and_(G_TRUE) is g
+
+    def test_or_folds_true(self):
+        g = PortGuard(self.port())
+        assert isinstance(G_TRUE.or_(g), TrueGuard)
+
+    def test_not_not_folds(self):
+        g = PortGuard(self.port())
+        assert g.not_().not_() is g
+
+    def test_operator_sugar(self):
+        a = PortGuard(self.port("a"))
+        b = PortGuard(self.port("b"))
+        assert isinstance(a & b, AndGuard)
+        assert isinstance(a | b, OrGuard)
+        assert isinstance(~a, NotGuard)
+
+    def test_cmp_guard(self):
+        g = CmpGuard("==", self.port(), ConstPort(2, 1))
+        assert g.to_string() == "x.out == 2'd1"
+        assert g.size() == 1
+
+    def test_cmp_rejects_unknown_op(self):
+        with pytest.raises(ValueError):
+            CmpGuard("===", self.port(), self.port())
+
+    def test_to_string_parenthesizes(self):
+        a = PortGuard(self.port("a"))
+        b = PortGuard(self.port("b"))
+        c = PortGuard(self.port("c"))
+        g = OrGuard(AndGuard(a, b), c)
+        assert g.to_string() == "(a.out & b.out) | c.out"
+
+    def test_map_ports(self):
+        g = AndGuard(PortGuard(self.port("a")), NotGuard(PortGuard(self.port("b"))))
+        renamed = g.map_ports(
+            lambda p: CellPort("z", p.port) if isinstance(p, CellPort) else p
+        )
+        assert renamed.to_string() == "z.out & !z.out"
+
+    def test_size_counts_operators(self):
+        a = PortGuard(self.port("a"))
+        g = AndGuard(NotGuard(a), OrGuard(a, a))
+        assert g.size() == 3
+
+    def test_and_all_empty_is_true(self):
+        assert isinstance(and_all([]), TrueGuard)
+
+    def test_or_all_empty_is_never(self):
+        g = or_all([])
+        assert isinstance(g, NotGuard)
+        assert isinstance(g.inner, TrueGuard)
+
+    def test_equality_structural(self):
+        a1 = AndGuard(PortGuard(self.port()), G_TRUE)
+        a2 = AndGuard(PortGuard(self.port()), G_TRUE)
+        assert a1 == a2
+        assert hash(a1) == hash(a2)

@@ -1,0 +1,91 @@
+"""Printer round-trip: print(parse(x)) is a fixpoint, including a
+hypothesis property over randomly generated programs."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import parse_program, print_program
+from tests.conftest import SUM_LOOP, TWO_WRITES
+
+
+def roundtrip(source: str) -> None:
+    once = print_program(parse_program(source))
+    twice = print_program(parse_program(once))
+    assert once == twice
+
+
+class TestRoundTrip:
+    def test_sum_loop(self):
+        roundtrip(SUM_LOOP)
+
+    def test_two_writes(self):
+        roundtrip(TWO_WRITES)
+
+    def test_attributes_survive(self):
+        src = TWO_WRITES.replace("group one {", 'group one<"static"=1> {')
+        text = print_program(parse_program(src))
+        assert '<"static"=1>' in text
+
+    def test_external_marker_survives(self):
+        src = TWO_WRITES.replace("x = std_reg", "@external x = std_reg")
+        text = print_program(parse_program(src))
+        assert "@external" in text
+
+    def test_extern_block_survives(self):
+        src = (
+            'extern "f.sv" { component f(x: 8) -> (y: 8); }\n' + TWO_WRITES
+        )
+        text = print_program(parse_program(src))
+        assert 'extern "f.sv"' in text
+        roundtrip(src)
+
+
+# -- random program generation for the property test -------------------------
+
+_names = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def random_program(draw):
+    """Generate a small well-formed-ish program with random control."""
+    n_groups = draw(st.integers(min_value=1, max_value=4))
+    group_names = [f"g{i}" for i in range(n_groups)]
+    widths = [draw(st.sampled_from([1, 4, 8, 32])) for _ in range(n_groups)]
+
+    cells = "\n".join(
+        f"    r{i} = std_reg({widths[i]});" for i in range(n_groups)
+    )
+    groups = "\n".join(
+        f"    group {name} {{ r{i}.in = {widths[i]}'d1; r{i}.write_en = 1'd1; "
+        f"{name}[done] = r{i}.done; }}"
+        for i, name in enumerate(group_names)
+    )
+
+    def control(depth: int) -> str:
+        choices = ["enable"]
+        if depth < 2:
+            choices += ["seq", "par"]
+        kind = draw(st.sampled_from(choices))
+        if kind == "enable":
+            return draw(st.sampled_from(group_names)) + ";"
+        k = draw(st.integers(min_value=1, max_value=3))
+        inner = " ".join(control(depth + 1) for _ in range(k))
+        return f"{kind} {{ {inner} }}"
+
+    body = control(0)
+    return f"""
+component main(go: 1) -> (done: 1) {{
+  cells {{
+{cells}
+  }}
+  wires {{
+{groups}
+  }}
+  control {{ {body} }}
+}}
+"""
+
+
+@given(random_program())
+@settings(max_examples=40, deadline=None)
+def test_roundtrip_property(source):
+    roundtrip(source)

@@ -1,0 +1,105 @@
+"""Focused tests for RemoveGroups hole inlining (paper Section 4.2)."""
+
+import pytest
+
+from repro.errors import PassError
+from repro.ir import parse_program
+from repro.ir.ast import HolePort, ThisPort
+from repro.passes import get_pass
+from repro.sim import Testbench
+from tests.conftest import TWO_WRITES
+
+
+def lower_groups(source):
+    prog = parse_program(source)
+    for name in ("go-insertion", "compile-control", "remove-groups"):
+        get_pass(name).run(prog)
+    return prog
+
+
+class TestInlining:
+    def test_done_wired_to_component_port(self):
+        prog = lower_groups(TWO_WRITES)
+        done_writes = [
+            a
+            for a in prog.main.continuous
+            if isinstance(a.dst, ThisPort) and a.dst.port == "done"
+        ]
+        assert len(done_writes) == 1
+
+    def test_go_appears_in_flat_guards(self):
+        prog = lower_groups(TWO_WRITES)
+        texts = [a.to_string() for a in prog.main.continuous]
+        assert any("go" in t and "x.in" in t for t in texts)
+
+    def test_empty_control_component_done_follows_go(self):
+        src = """
+component main(go: 1) -> (done: 1) {
+  cells { a = std_add(8); }
+  wires {
+    a.left = 8'd1;
+    a.right = 8'd2;
+  }
+  control {}
+}
+"""
+        prog = parse_program(src)
+        get_pass("remove-groups").run(prog)
+        done = [
+            a
+            for a in prog.main.continuous
+            if isinstance(a.dst, ThisPort) and a.dst.port == "done"
+        ]
+        assert len(done) == 1
+        assert "go" in done[0].guard.to_string()
+
+    def test_existing_done_wire_not_duplicated(self):
+        src = """
+component main(go: 1) -> (done: 1) {
+  cells { r = std_reg(1); }
+  wires {
+    done = r.out;
+  }
+  control {}
+}
+"""
+        prog = parse_program(src)
+        get_pass("remove-groups").run(prog)
+        done = [
+            a
+            for a in prog.main.continuous
+            if isinstance(a.dst, ThisPort) and a.dst.port == "done"
+        ]
+        assert len(done) == 1
+
+    def test_hole_as_data_source_materializes(self):
+        src = """
+component main(go: 1) -> (done: 1) {
+  cells { x = std_reg(1); flag = std_reg(1); }
+  wires {
+    group one {
+      x.in = 1'd1; x.write_en = 1;
+      one[done] = x.done;
+      flag.in = one[done];
+      flag.write_en = 1'd1;
+    }
+  }
+  control { one; }
+}
+"""
+        prog = lower_groups(src)
+        # no holes anywhere
+        for assign in prog.main.continuous:
+            assert not any(isinstance(p, HolePort) for p in assign.ports())
+
+    def test_uncompiled_control_rejected(self):
+        prog = parse_program(TWO_WRITES)
+        get_pass("go-insertion").run(prog)
+        with pytest.raises(PassError):
+            get_pass("remove-groups").run(prog)
+
+    def test_lowered_program_runs(self):
+        prog = lower_groups(TWO_WRITES)
+        tb = Testbench(prog)
+        tb.run()
+        assert tb.register_value("y") == 5

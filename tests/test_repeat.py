@@ -1,0 +1,102 @@
+"""Tests for the first-class ``repeat`` operator (Section 9 extension)."""
+
+import pytest
+
+from repro.ir import parse_program, print_program
+from repro.ir.control import Empty, Enable, Repeat, Seq, While
+from repro.passes import compile_program, get_pass
+from repro.passes.compile_repeat import UNROLL_LIMIT
+from repro.sim import Testbench, run_program
+
+COUNTER = """
+component main(go: 1) -> (done: 1) {{
+  cells {{
+    x = std_reg(32);
+    a = std_add(32);
+  }}
+  wires {{
+    group incr {{
+      a.left = x.out; a.right = 32'd1;
+      x.in = a.out; x.write_en = 1;
+      incr[done] = x.done;
+    }}
+  }}
+  control {{ repeat {times} {{ incr; }} }}
+}}
+"""
+
+
+def x_after(source, pipeline=None):
+    prog = parse_program(source)
+    if pipeline:
+        compile_program(prog, pipeline)
+    tb = Testbench(prog)
+    result = tb.run()
+    return tb.register_value("x"), result.cycles
+
+
+class TestParsingPrinting:
+    def test_parse(self):
+        prog = parse_program(COUNTER.format(times=4))
+        assert isinstance(prog.main.control, Repeat)
+        assert prog.main.control.times == 4
+
+    def test_roundtrip(self):
+        text = print_program(parse_program(COUNTER.format(times=4)))
+        assert "repeat 4 {" in text
+        assert print_program(parse_program(text)) == text
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Repeat(-1, Empty())
+
+
+class TestInterpreter:
+    @pytest.mark.parametrize("times", [0, 1, 3, 7])
+    def test_repeat_counts(self, times):
+        x, _ = x_after(COUNTER.format(times=times))
+        assert x == times
+
+    def test_nested_repeat(self):
+        src = COUNTER.format(times=2).replace(
+            "repeat 2 { incr; }", "repeat 2 { repeat 3 { incr; } }"
+        )
+        x, _ = x_after(src)
+        assert x == 6
+
+
+class TestCompileRepeat:
+    def test_small_bound_unrolls_to_seq(self):
+        prog = parse_program(COUNTER.format(times=3))
+        get_pass("compile-repeat").run(prog)
+        assert isinstance(prog.main.control, Seq)
+        assert len(prog.main.control.stmts) == 3
+
+    def test_zero_becomes_empty(self):
+        prog = parse_program(COUNTER.format(times=0))
+        get_pass("compile-repeat").run(prog)
+        assert isinstance(prog.main.control, Empty)
+
+    def test_one_unwraps(self):
+        prog = parse_program(COUNTER.format(times=1))
+        get_pass("compile-repeat").run(prog)
+        assert isinstance(prog.main.control, Enable)
+
+    def test_large_bound_becomes_while(self):
+        prog = parse_program(COUNTER.format(times=UNROLL_LIMIT + 4))
+        get_pass("compile-repeat").run(prog)
+        whiles = [n for n in prog.main.control.walk() if isinstance(n, While)]
+        assert len(whiles) == 1
+
+    @pytest.mark.parametrize("times", [2, UNROLL_LIMIT + 4])
+    @pytest.mark.parametrize("pipeline", ["lower", "all"])
+    def test_lowered_equivalence(self, times, pipeline):
+        x, _ = x_after(COUNTER.format(times=times), pipeline)
+        assert x == times
+
+    def test_unrolled_repeat_is_statically_compiled(self):
+        """A repeated static body costs ~times x latency under Sensitive."""
+        _, static_cycles = x_after(COUNTER.format(times=8), "lower-static")
+        _, dynamic_cycles = x_after(COUNTER.format(times=8), "lower")
+        assert static_cycles < dynamic_cycles
+        assert static_cycles <= 8 + 3  # one cycle per write + handshake

@@ -1,0 +1,155 @@
+"""Tests for well-formedness validation (paper Sections 3.2-3.3)."""
+
+import pytest
+
+from repro.errors import (
+    MultipleDriverError,
+    UndefinedError,
+    ValidationError,
+    WidthError,
+)
+from repro.ir import parse_program
+from repro.ir.validate import validate_program
+from tests.conftest import SUM_LOOP, TWO_WRITES
+
+BASE = """
+component main(go: 1) -> (done: 1) {{
+  cells {{
+    r = std_reg(32);
+    lt = std_lt(32);
+  }}
+  wires {{
+    group g {{
+      {body}
+      g[done] = r.done;
+    }}
+  }}
+  control {{ {control} }}
+}}
+"""
+
+
+def check(body="r.in = 32'd1; r.write_en = 1;", control="g;"):
+    validate_program(parse_program(BASE.format(body=body, control=control)))
+
+
+class TestValidAccepted:
+    def test_sum_loop(self):
+        validate_program(parse_program(SUM_LOOP))
+
+    def test_two_writes(self):
+        validate_program(parse_program(TWO_WRITES))
+
+    def test_guarded_multiple_drivers_ok(self):
+        check(
+            body="r.in = lt.out ? 32'd1; r.in = !lt.out ? 32'd2; r.write_en = 1;"
+        )
+
+
+class TestRejections:
+    def test_unknown_primitive(self):
+        src = """
+component main(go: 1) -> (done: 1) {
+  cells { m = std_magic(32); }
+  wires {
+    group g { m.in = 32'd1; g[done] = 1'd1; }
+  }
+  control { g; }
+}
+"""
+        with pytest.raises(UndefinedError):
+            validate_program(parse_program(src))
+
+    def test_bad_primitive_arity(self):
+        src = TWO_WRITES.replace("x = std_reg(32)", "x = std_reg(32, 4)")
+        with pytest.raises(ValidationError):
+            validate_program(parse_program(src))
+
+    def test_unknown_cell_port(self):
+        with pytest.raises(UndefinedError):
+            check(body="r.input = 32'd1; r.write_en = 1;")
+
+    def test_width_mismatch(self):
+        with pytest.raises(WidthError):
+            check(body="r.in = 8'd1; r.write_en = 1;")
+
+    def test_guard_must_be_one_bit(self):
+        with pytest.raises(WidthError):
+            check(body="r.in = r.out ? 32'd1; r.write_en = 1;")
+
+    def test_comparison_width_mismatch(self):
+        with pytest.raises(WidthError):
+            check(body="r.in = r.out == 8'd1 ? 32'd1; r.write_en = 1;")
+
+    def test_write_to_output_port_of_cell(self):
+        with pytest.raises(ValidationError):
+            check(body="r.out = 32'd1; r.write_en = 1;")
+
+    def test_read_from_input_port_of_cell(self):
+        with pytest.raises(ValidationError):
+            check(body="r.in = lt.left; r.write_en = 1;")
+
+    def test_unconditional_double_drive_in_group(self):
+        with pytest.raises(MultipleDriverError):
+            check(body="r.in = 32'd1; r.in = 32'd2; r.write_en = 1;")
+
+    def test_group_without_done(self):
+        src = TWO_WRITES.replace("one[done] = x.done;", "")
+        with pytest.raises(ValidationError):
+            validate_program(parse_program(src))
+
+    def test_control_names_unknown_group(self):
+        with pytest.raises(UndefinedError):
+            check(control="seq { g; missing; }")
+
+    def test_condition_port_must_be_one_bit(self):
+        with pytest.raises(WidthError):
+            check(control="while r.out with g { g; }")
+
+    def test_continuous_cannot_use_holes(self):
+        src = TWO_WRITES.replace(
+            "wires {",
+            "wires {\n    y.write_en = one[done] ? 1'd1;",
+        )
+        with pytest.raises(ValidationError):
+            validate_program(parse_program(src))
+
+    def test_comb_group_cannot_be_enabled(self):
+        src = """
+component main(go: 1) -> (done: 1) {
+  cells { lt = std_lt(4); }
+  wires {
+    comb group c { lt.left = 4'd1; lt.right = 4'd2; }
+  }
+  control { c; }
+}
+"""
+        with pytest.raises(ValidationError):
+            validate_program(parse_program(src))
+
+    def test_comb_group_as_condition_ok(self):
+        src = """
+component main(go: 1) -> (done: 1) {
+  cells { lt = std_lt(4); r = std_reg(1); }
+  wires {
+    comb group c { lt.left = 4'd1; lt.right = 4'd2; }
+    group g { r.in = 1'd1; r.write_en = 1; g[done] = r.done; }
+  }
+  control { if lt.out with c { g; } }
+}
+"""
+        validate_program(parse_program(src))
+
+    def test_invoke_unknown_binding(self):
+        src = """
+component sub(x: 8) -> (y: 8) {
+  cells {} wires {} control {}
+}
+component main(go: 1) -> (done: 1) {
+  cells { s = sub(); }
+  wires {}
+  control { invoke s(nope=8'd1)(); }
+}
+"""
+        with pytest.raises(ValidationError):
+            validate_program(parse_program(src))

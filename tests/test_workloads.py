@@ -1,0 +1,78 @@
+"""Tests for workload data generation and the matmul helpers."""
+
+from repro.workloads.common import Lcg, matrix, vector
+from repro.workloads.matmul import (
+    hls_matmul_source,
+    matmul_reference,
+    systolic_expected,
+    systolic_inputs,
+)
+from repro.workloads.polybench import get_kernel
+
+
+class TestDataGeneration:
+    def test_deterministic(self):
+        assert vector(1, 8) == vector(1, 8)
+        assert matrix(2, 3, 3) == matrix(2, 3, 3)
+
+    def test_different_seeds_differ(self):
+        assert vector(1, 16) != vector(2, 16)
+
+    def test_range(self):
+        values = Lcg(7).ints(100, lo=1, hi=15)
+        assert all(1 <= v <= 15 for v in values)
+
+    def test_never_zero_by_default(self):
+        assert 0 not in vector(3, 200)
+
+
+class TestMatmulHelpers:
+    def test_reference_matmul(self):
+        a = [[1, 2], [3, 4]]
+        b = [[5, 6], [7, 8]]
+        assert matmul_reference(a, b) == [[19, 22], [43, 50]]
+
+    def test_reference_masks_32_bits(self):
+        a = [[1 << 31]]
+        b = [[4]]
+        assert matmul_reference(a, b) == [[(1 << 33) & 0xFFFFFFFF]]
+
+    def test_systolic_inputs_shape(self):
+        mems = systolic_inputs(3)
+        assert set(mems) == {"l0", "l1", "l2", "t0", "t1", "t2", "out"}
+        assert len(mems["out"]) == 9
+        assert all(len(mems[k]) == 3 for k in mems if k != "out")
+
+    def test_systolic_expected_consistent(self):
+        # t memories are columns of B; recompute independently.
+        n = 2
+        mems = systolic_inputs(n)
+        a = [mems[f"l{r}"] for r in range(n)]
+        b = [[mems[f"t{c}"][k] for c in range(n)] for k in range(n)]
+        flat = [v for row in matmul_reference(a, b) for v in row]
+        assert flat == systolic_expected(n)
+
+    def test_hls_source_unrolls_outer_two(self):
+        src = hls_matmul_source(4)
+        assert src.count("unroll 4") == 2
+        assert "bank" not in src  # the straightforward kernel
+
+
+class TestKernelAccessors:
+    def test_memories_for_unrolled_adds_duplicates(self):
+        kernel = get_kernel("syrk", 4)
+        plain = kernel.memories_for(False)
+        unrolled = kernel.memories_for(True)
+        assert "A2" not in plain
+        assert unrolled["A2"] == unrolled["A"]
+
+    def test_outputs_for_variants(self):
+        kernel = get_kernel("doitgen", 2)
+        assert kernel.outputs_for(False) == ["A"]
+        assert kernel.outputs_for(True) == ["Aout"]
+
+    def test_unrolled_extra_memories(self):
+        kernel = get_kernel("doitgen", 2)
+        mems = kernel.memories_for(True)
+        assert "Aout" in mems
+        assert all(v == 0 for v in mems["Aout"])
