@@ -22,8 +22,13 @@ See ``examples/`` for frontend usage and ``DESIGN.md`` for the system map.
 from repro.ir import parse_program, print_program, Builder
 from repro.ir.validate import validate_program
 from repro.passes import PIPELINES, compile_program
-from repro.sim import Testbench, run_program
+from repro.sim import Testbench, Watchdog, run_program
 from repro.backend import emit_verilog, estimate_resources
+from repro.robustness import (
+    CheckedPassManager,
+    difftest_program,
+    difftest_source,
+)
 
 __version__ = "1.0.0"
 
@@ -35,8 +40,12 @@ __all__ = [
     "PIPELINES",
     "compile_program",
     "Testbench",
+    "Watchdog",
     "run_program",
     "emit_verilog",
     "estimate_resources",
+    "CheckedPassManager",
+    "difftest_program",
+    "difftest_source",
     "__version__",
 ]

@@ -2,14 +2,17 @@
 
 Subcommands::
 
-    calyx-py compile  FILE [-p PIPELINE] [--emit {calyx,verilog}]
+    calyx-py compile  FILE [-p PIPELINE] [--emit {calyx,verilog}] [--timings]
     calyx-py run      FILE [-p PIPELINE] [--mem NAME=v1,v2,...] [--interpret]
     calyx-py resources FILE [-p PIPELINE]
+    calyx-py difftest FILE [-p PIPELINE ...] [--mem NAME=v1,v2,...]
     calyx-py dahlia   FILE [--emit {calyx,verilog}] [-p PIPELINE]
     calyx-py systolic N [--emit {calyx,verilog}] [-p PIPELINE]
     calyx-py eval     {fig7,fig8,fig9,stats}
 
 ``FILE`` is Calyx surface syntax (``.futil``) except for ``dahlia``.
+Toolchain failures print a one-line ``error: ...`` to stderr and exit 1;
+pass ``--debug`` (before the subcommand) to get the full traceback.
 """
 
 from __future__ import annotations
@@ -19,19 +22,37 @@ import sys
 from typing import Dict, List
 
 from repro.backend import emit_verilog, estimate_resources
+from repro.errors import CalyxError
 from repro.frontends.dahlia import compile_dahlia
 from repro.frontends.systolic import SystolicConfig, generate_systolic_array
 from repro.ir import parse_program, print_program
-from repro.passes import PIPELINES, compile_program
-from repro.sim import run_program
+from repro.passes import PIPELINES, make_pass_manager
+from repro.sim import DEFAULT_MAX_CYCLES, run_program
 
 
 def _parse_mems(specs: List[str]) -> Dict[str, List[int]]:
     mems: Dict[str, List[int]] = {}
     for spec in specs:
-        name, _, values = spec.partition("=")
-        mems[name] = [int(v) for v in values.split(",") if v]
+        name, sep, values = spec.partition("=")
+        if not sep or not name:
+            raise CalyxError(
+                f"malformed --mem spec {spec!r} (expected NAME=v1,v2,...)"
+            )
+        try:
+            mems[name] = [int(v) for v in values.split(",") if v]
+        except ValueError:
+            raise CalyxError(
+                f"malformed --mem spec {spec!r}: values must be integers"
+            ) from None
     return mems
+
+
+def _read_file(path: str) -> str:
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError as exc:
+        raise CalyxError(f"cannot read {path!r}: {exc.strerror}") from None
 
 
 def _emit(program, fmt: str) -> str:
@@ -40,19 +61,34 @@ def _emit(program, fmt: str) -> str:
     return print_program(program)
 
 
-def main(argv=None) -> int:
+def _compile(program, args) -> None:
+    """Run the selected pipeline, honoring --checked/--keep-going/--timings."""
+    manager = make_pass_manager(
+        args.pipeline,
+        checked=getattr(args, "checked", False),
+        keep_going=getattr(args, "keep_going", False),
+    )
+    manager.run(program)
+    if getattr(args, "keep_going", False):
+        degradations = getattr(manager, "degradations", [])
+        if degradations:
+            print(manager.degradation_report(), file=sys.stderr)
+    if getattr(args, "timings", False):
+        print(manager.timings_table(), file=sys.stderr)
+
+
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="calyx-py", description=__doc__)
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="re-raise toolchain errors with a full traceback",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_common(p, with_pipeline=True):
         if with_pipeline:
-            p.add_argument(
-                "-p",
-                "--pipeline",
-                default="all",
-                choices=sorted(PIPELINES),
-                help="pass pipeline to run",
-            )
+            add_pipeline(p)
         p.add_argument(
             "--emit",
             default="calyx",
@@ -60,19 +96,69 @@ def main(argv=None) -> int:
             help="output format",
         )
 
+    def add_pipeline(p):
+        p.add_argument(
+            "-p",
+            "--pipeline",
+            default="all",
+            choices=sorted(PIPELINES),
+            help="pass pipeline to run",
+        )
+
+    def add_robustness(p):
+        p.add_argument(
+            "--timings",
+            action="store_true",
+            help="print per-pass wall-clock times to stderr",
+        )
+        p.add_argument(
+            "--checked",
+            action="store_true",
+            help="re-validate the IR after every pass",
+        )
+        p.add_argument(
+            "--keep-going",
+            action="store_true",
+            help="skip (and report) failing passes instead of aborting",
+        )
+
     p_compile = sub.add_parser("compile", help="compile a Calyx program")
     p_compile.add_argument("file")
     add_common(p_compile)
+    add_robustness(p_compile)
 
     p_run = sub.add_parser("run", help="compile and simulate a Calyx program")
     p_run.add_argument("file")
-    p_run.add_argument("-p", "--pipeline", default="all", choices=sorted(PIPELINES))
+    add_pipeline(p_run)
     p_run.add_argument("--interpret", action="store_true", help="run unlowered")
     p_run.add_argument("--mem", action="append", default=[], metavar="NAME=v1,v2")
+    add_robustness(p_run)
 
     p_res = sub.add_parser("resources", help="estimate resources")
     p_res.add_argument("file")
-    p_res.add_argument("-p", "--pipeline", default="all", choices=sorted(PIPELINES))
+    add_pipeline(p_res)
+    add_robustness(p_res)
+
+    p_diff = sub.add_parser(
+        "difftest",
+        help="differential oracle: interpreted vs compiled execution",
+    )
+    p_diff.add_argument("file")
+    p_diff.add_argument(
+        "-p",
+        "--pipeline",
+        action="append",
+        dest="pipelines",
+        choices=[name for name in sorted(PIPELINES) if name != "validate"],
+        help="pipeline(s) to test (default: every lowering pipeline)",
+    )
+    p_diff.add_argument("--mem", action="append", default=[], metavar="NAME=v1,v2")
+    p_diff.add_argument(
+        "--max-cycles",
+        type=int,
+        default=DEFAULT_MAX_CYCLES,
+        help="cycle budget per execution",
+    )
 
     p_dahlia = sub.add_parser("dahlia", help="compile a mini-Dahlia program")
     p_dahlia.add_argument("file")
@@ -85,31 +171,47 @@ def main(argv=None) -> int:
     p_eval = sub.add_parser("eval", help="regenerate a paper figure")
     p_eval.add_argument("figure", choices=["fig7", "fig8", "fig9", "stats"])
 
-    args = parser.parse_args(argv)
+    return parser
 
+
+def _dispatch(args) -> int:
     if args.command == "compile":
-        program = parse_program(open(args.file).read())
-        compile_program(program, args.pipeline)
+        program = parse_program(_read_file(args.file))
+        _compile(program, args)
         print(_emit(program, args.emit))
     elif args.command == "run":
-        program = parse_program(open(args.file).read())
+        program = parse_program(_read_file(args.file))
         if not args.interpret:
-            compile_program(program, args.pipeline)
+            _compile(program, args)
         result = run_program(program, memories=_parse_mems(args.mem))
         print(f"cycles: {result.cycles}")
         for name, values in sorted(result.memories.items()):
             print(f"{name} = {values}")
     elif args.command == "resources":
-        program = parse_program(open(args.file).read())
-        compile_program(program, args.pipeline)
+        program = parse_program(_read_file(args.file))
+        _compile(program, args)
         print(estimate_resources(program))
+    elif args.command == "difftest":
+        from repro.robustness import difftest_program
+
+        program = parse_program(_read_file(args.file))
+        mems = _parse_mems(args.mem) or None
+        report = difftest_program(
+            program,
+            memories=mems,
+            pipelines=args.pipelines,
+            name=args.file,
+            max_cycles=args.max_cycles,
+        )
+        print(report.describe())
+        return 0 if report.ok else 1
     elif args.command == "dahlia":
-        design = compile_dahlia(open(args.file).read())
-        compile_program(design.program, args.pipeline)
+        design = compile_dahlia(_read_file(args.file))
+        _compile(design.program, args)
         print(_emit(design.program, args.emit))
     elif args.command == "systolic":
         program = generate_systolic_array(SystolicConfig.square(args.n))
-        compile_program(program, args.pipeline)
+        _compile(program, args)
         print(_emit(program, args.emit))
     elif args.command == "eval":
         if args.figure == "fig7":
@@ -129,6 +231,17 @@ def main(argv=None) -> int:
 
             table_stats.main()
     return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except CalyxError as exc:
+        if args.debug:
+            raise
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -7,7 +7,13 @@ and ablation variants used by the evaluation).
 """
 
 from repro.passes.base import Pass, PassManager, get_pass, register_pass, all_pass_names
-from repro.passes.pipeline import PIPELINES, compile_program, lower_pipeline
+from repro.passes.pipeline import (
+    PIPELINES,
+    compile_program,
+    lower_pipeline,
+    make_pass_manager,
+    resolve_pipeline,
+)
 
 __all__ = [
     "Pass",
@@ -18,6 +24,8 @@ __all__ = [
     "PIPELINES",
     "compile_program",
     "lower_pipeline",
+    "make_pass_manager",
+    "resolve_pipeline",
 ]
 
 # Importing the modules registers every pass with the registry.

@@ -55,19 +55,41 @@ def all_pass_names() -> List[str]:
 
 
 class PassManager:
-    """Runs a sequence of passes, recording wall-clock timings."""
+    """Runs a sequence of passes, recording wall-clock timings.
+
+    Subclasses customize per-pass behavior by overriding :meth:`_run_one`
+    (see :class:`repro.robustness.checked.CheckedPassManager`, which adds
+    snapshots and post-pass re-validation around it).
+    """
 
     def __init__(self, pass_names: List[str]):
         self.pass_names = list(pass_names)
         self.timings: List[tuple] = []
 
     def run(self, program: Program) -> Program:
-        for name in self.pass_names:
+        for index, name in enumerate(self.pass_names):
             pass_ = get_pass(name)
             start = time.perf_counter()
-            pass_.run(program)
+            self._run_one(index, name, pass_, program)
             self.timings.append((name, time.perf_counter() - start))
         return program
 
+    def _run_one(
+        self, index: int, name: str, pass_: Pass, program: Program
+    ) -> None:
+        pass_.run(program)
+
     def total_seconds(self) -> float:
         return sum(elapsed for _, elapsed in self.timings)
+
+    def timings_table(self) -> str:
+        """Per-pass wall-clock report (the Section 7.4 compilation stats)."""
+        if not self.timings:
+            return "no passes ran"
+        width = max(len(name) for name, _ in self.timings)
+        lines = [
+            f"{name:<{width}}  {elapsed * 1000:9.3f} ms"
+            for name, elapsed in self.timings
+        ]
+        lines.append(f"{'total':<{width}}  {self.total_seconds() * 1000:9.3f} ms")
+        return "\n".join(lines)

@@ -80,18 +80,47 @@ def lower_pipeline(
     return passes
 
 
+def resolve_pipeline(
+    pipeline: str = "all", passes: Optional[List[str]] = None
+) -> List[str]:
+    """The pass list for a named pipeline (or an explicit pass list)."""
+    if passes is not None:
+        return list(passes)
+    if pipeline not in PIPELINES:
+        raise PassError(
+            f"unknown pipeline {pipeline!r}; available: "
+            f"{', '.join(sorted(PIPELINES))}"
+        )
+    return list(PIPELINES[pipeline])
+
+
+def make_pass_manager(
+    pipeline: str = "all",
+    passes: Optional[List[str]] = None,
+    checked: bool = False,
+    keep_going: bool = False,
+) -> PassManager:
+    """Build a (possibly checked) pass manager for a pipeline."""
+    names = resolve_pipeline(pipeline, passes)
+    if checked or keep_going:
+        from repro.robustness.checked import CheckedPassManager
+
+        return CheckedPassManager(names, keep_going=keep_going)
+    return PassManager(names)
+
+
 def compile_program(
     program: Program,
     pipeline: str = "all",
     passes: Optional[List[str]] = None,
+    checked: bool = False,
+    keep_going: bool = False,
 ) -> Program:
-    """Run a named pipeline (or explicit pass list) on ``program`` in place."""
-    if passes is None:
-        if pipeline not in PIPELINES:
-            raise PassError(
-                f"unknown pipeline {pipeline!r}; available: "
-                f"{', '.join(sorted(PIPELINES))}"
-            )
-        passes = PIPELINES[pipeline]
-    PassManager(passes).run(program)
+    """Run a named pipeline (or explicit pass list) on ``program`` in place.
+
+    With ``checked`` the IR is re-validated after every pass and failures
+    surface as :class:`~repro.errors.PassDiagnostic`; ``keep_going``
+    additionally rolls back and skips a failing pass instead of aborting.
+    """
+    make_pass_manager(pipeline, passes, checked, keep_going).run(program)
     return program

@@ -15,12 +15,22 @@ Differential testing between the two modes validates the compiler.
 """
 
 from repro.sim.model import ComponentInstance, eval_guard
-from repro.sim.testbench import Testbench, SimulationResult, run_program
+from repro.sim.testbench import (
+    Testbench,
+    SimulationResult,
+    Watchdog,
+    run_program,
+    DEFAULT_DEADLOCK_WINDOW,
+    DEFAULT_MAX_CYCLES,
+)
 
 __all__ = [
     "ComponentInstance",
     "eval_guard",
     "Testbench",
     "SimulationResult",
+    "Watchdog",
     "run_program",
+    "DEFAULT_DEADLOCK_WINDOW",
+    "DEFAULT_MAX_CYCLES",
 ]

@@ -219,57 +219,120 @@ class ComponentInstance:
         assigns = self._collect_assignments(active)
         read = self.read
         for _ in range(self._max_iters):
-            changed = False
-            # 1. Child combinational outputs from current input nets.
-            for name, child in self.children.items():
-                ins = {
-                    port: self.nets.get(CellPort(name, port), 0)
-                    for port in self._child_inputs[name]
-                }
-                for port, value in child.comb(ins).items():
-                    changed |= self._set(CellPort(name, port), value)
-            # 2. Guarded assignments: compute the driven value per dst.
-            driven: Dict[PortRef, Tuple[int, Assignment]] = {}
-            for gate_group, assign in assigns:
-                if gate_group is not None and self.nets.get(
-                    HolePort(gate_group, GO), 0
-                ) == 0:
-                    continue
-                if eval_guard(assign.guard, read):
-                    value = read(assign.src)
-                    prev = driven.get(assign.dst)
-                    if prev is not None and prev[0] != value:
-                        raise MultipleDriverError(
-                            f"{self.path}: port {assign.dst.to_string()} driven "
-                            f"to both {prev[0]} and {value} by\n  "
-                            f"{prev[1].to_string()}\n  {assign.to_string()}"
-                        )
-                    driven[assign.dst] = (value, assign)
-            # 3. Commit: undriven destinations fall to 0; the executor
-            #    drives go holes of enabled groups (gated by their done).
-            for dst in self._all_dsts:
-                value = driven[dst][0] if dst in driven else 0
-                if isinstance(dst, HolePort) and dst.port == GO:
-                    if dst.group in forced:
-                        value = 1
-                    elif dst.group in active:
-                        done_now = self.nets.get(HolePort(dst.group, DONE), 0)
-                        value = 0 if done_now else 1
-                changed |= self._set(dst, value)
-            # 4. The executor drives done when control completes (unlowered
-            #    programs only). The value depends only on latched executor
-            #    state — not on the current go — mirroring a registered
-            #    done and avoiding go/done oscillation when a parent gates
-            #    go with !done; it clears at the reset edge after go falls.
-            if not self._done_from_wires:
-                done_value = 1 if self.executor.finished() else 0
-                changed |= self._set(ThisPort(DONE), done_value)
-            if not changed:
+            if not self._settle_once(assigns, active, forced, read):
                 return
+        self._diagnose_nonconvergence(assigns, active, forced, read)
+
+    def _settle_once(
+        self,
+        assigns: List[Tuple[Optional[str], Assignment]],
+        active: Set[str],
+        forced: Set[str],
+        read: ReadFn,
+    ) -> bool:
+        """One sweep of the combinational fixpoint; True if any net changed."""
+        changed = False
+        # 1. Child combinational outputs from current input nets.
+        for name, child in self.children.items():
+            ins = {
+                port: self.nets.get(CellPort(name, port), 0)
+                for port in self._child_inputs[name]
+            }
+            for port, value in child.comb(ins).items():
+                changed |= self._set(CellPort(name, port), value)
+        # 2. Guarded assignments: compute the driven value per dst.
+        driven: Dict[PortRef, Tuple[int, Assignment]] = {}
+        for gate_group, assign in assigns:
+            if gate_group is not None and self.nets.get(
+                HolePort(gate_group, GO), 0
+            ) == 0:
+                continue
+            if eval_guard(assign.guard, read):
+                value = read(assign.src)
+                prev = driven.get(assign.dst)
+                if prev is not None and prev[0] != value:
+                    raise MultipleDriverError(
+                        f"{self.path}: port {assign.dst.to_string()} driven "
+                        f"to both {prev[0]} and {value} by\n  "
+                        f"{prev[1].to_string()}\n  {assign.to_string()}"
+                    )
+                driven[assign.dst] = (value, assign)
+        # 3. Commit: undriven destinations fall to 0; the executor
+        #    drives go holes of enabled groups (gated by their done).
+        for dst in self._all_dsts:
+            value = driven[dst][0] if dst in driven else 0
+            if isinstance(dst, HolePort) and dst.port == GO:
+                if dst.group in forced:
+                    value = 1
+                elif dst.group in active:
+                    done_now = self.nets.get(HolePort(dst.group, DONE), 0)
+                    value = 0 if done_now else 1
+            changed |= self._set(dst, value)
+        # 4. The executor drives done when control completes (unlowered
+        #    programs only). The value depends only on latched executor
+        #    state — not on the current go — mirroring a registered
+        #    done and avoiding go/done oscillation when a parent gates
+        #    go with !done; it clears at the reset edge after go falls.
+        if not self._done_from_wires:
+            done_value = 1 if self.executor.finished() else 0
+            changed |= self._set(ThisPort(DONE), done_value)
+        return changed
+
+    #: Extra probe sweeps used to tell a limit cycle from non-convergence.
+    OSCILLATION_PROBE_ITERS = 64
+
+    def _diagnose_nonconvergence(
+        self,
+        assigns: List[Tuple[Optional[str], Assignment]],
+        active: Set[str],
+        forced: Set[str],
+        read: ReadFn,
+    ) -> None:
+        """The settle loop ran out of iterations: classify the failure.
+
+        Keep sweeping for a bounded number of extra iterations while
+        fingerprinting the net state. A repeated fingerprint proves a true
+        combinational limit cycle (:class:`OscillationError`, reporting the
+        nets that toggle and the period); no repeat within the probe means
+        generic non-convergence (:class:`CombinationalLoopError`).
+        """
+        from repro.errors import OscillationError
+
+        seen: Dict[Tuple, int] = {}
+        history: List[Dict[PortRef, int]] = []
+        for i in range(self.OSCILLATION_PROBE_ITERS):
+            fingerprint = tuple(
+                sorted((ref.to_string(), val) for ref, val in self.nets.items())
+            )
+            if fingerprint in seen:
+                start = seen[fingerprint]
+                period = i - start
+                cycle_states = history[start:]
+                toggling = sorted(
+                    {
+                        ref.to_string()
+                        for state in cycle_states
+                        for ref, val in state.items()
+                        if any(s.get(ref, 0) != val for s in cycle_states)
+                    }
+                )
+                raise OscillationError(
+                    f"{self.path}: combinational limit cycle with period "
+                    f"{period}: nets oscillate forever: "
+                    + ", ".join(toggling[:12])
+                    + ("..." if len(toggling) > 12 else ""),
+                    nets=toggling,
+                    period=period,
+                ).with_state(self.state_dump())
+            seen[fingerprint] = i
+            history.append(dict(self.nets))
+            if not self._settle_once(assigns, active, forced, read):
+                return  # converged late after all
         raise CombinationalLoopError(
             f"{self.path}: combinational logic did not converge after "
-            f"{self._max_iters} iterations (combinational cycle?)"
-        )
+            f"{self._max_iters + self.OSCILLATION_PROBE_ITERS} iterations "
+            f"(values still changing; not a finite limit cycle)"
+        ).with_state(self.state_dump())
 
     def _collect_assignments(
         self, active: Set[str]
@@ -313,6 +376,88 @@ class ComponentInstance:
             self._go_was_high = False
         for child, ins in pending:
             child.tick(ins)
+
+    # -- watchdog support ----------------------------------------------------
+    def state_dump(self, max_nets: int = 48) -> str:
+        """Human-readable snapshot of nets and control state for reports."""
+        lines = [f"instance {self.path}:"]
+        if self.comp.groups:
+            active = sorted(
+                self.executor.active_groups() if self._running() else set()
+            )
+            lines.append(f"  active groups: {', '.join(active) or '(none)'}")
+        nets = sorted(
+            ((ref.to_string(), val) for ref, val in self.nets.items()),
+        )
+        for name, val in nets[:max_nets]:
+            lines.append(f"  {name} = {val}")
+        if len(nets) > max_nets:
+            lines.append(f"  ... ({len(nets) - max_nets} more nets)")
+        for child in self.children.values():
+            if isinstance(child, ComponentInstance):
+                lines.append(child.state_dump(max_nets=max_nets // 2))
+        return "\n".join(lines)
+
+    def done_signature(self) -> Tuple:
+        """Values of every ``done``-like net, recursively.
+
+        The watchdog fingerprints this each cycle: in any design still
+        making progress some group, cell, or component ``done`` changes
+        within a bounded window; a frozen signature means deadlock.
+        """
+        values: List[object] = [
+            val
+            for ref, val in self.nets.items()
+            if getattr(ref, "port", None) == DONE
+        ]
+        for child in self.children.values():
+            if isinstance(child, ComponentInstance):
+                values.append(child.done_signature())
+        return tuple(values)
+
+    def stuck_groups(self) -> List[str]:
+        """Dotted names of groups active right now, recursively."""
+        out = [
+            f"{self.path}.{name}"
+            for name in sorted(
+                self.executor.active_groups() if self._running() else set()
+            )
+        ]
+        for child in self.children.values():
+            if isinstance(child, ComponentInstance):
+                out.extend(child.stuck_groups())
+        return out
+
+    def deadlock_report(self) -> str:
+        """Explain what each active group's done condition is waiting on."""
+        lines: List[str] = []
+        active = sorted(
+            self.executor.active_groups() if self._running() else set()
+        )
+        for name in active:
+            group = self.comp.groups[name]
+            lines.append(f"{self.path}: group {name!r} is stuck; waiting on:")
+            done_writes = group.done_assignments()
+            if not done_writes:
+                lines.append("    (group has no done condition)")
+            for assign in done_writes:
+                guard_val = eval_guard(assign.guard, self.read)
+                src_val = self.read(assign.src)
+                lines.append(
+                    f"    {assign.to_string()}  "
+                    f"[guard={'1' if guard_val else '0'}, src={src_val}]"
+                )
+        if not active and self._running() and self.comp.groups:
+            lines.append(
+                f"{self.path}: running but no group is active "
+                f"(control executor state inconsistent?)"
+            )
+        for child in self.children.values():
+            if isinstance(child, ComponentInstance):
+                sub = child.deadlock_report()
+                if sub:
+                    lines.append(sub)
+        return "\n".join(lines)
 
     # -- inspection ----------------------------------------------------------
     def find(self, path: str) -> object:

@@ -8,16 +8,47 @@ number of clock edges until ``done`` is observed high.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.errors import SimulationError, UndefinedError
+from repro.errors import (
+    CycleLimitError,
+    DeadlockError,
+    SimulationError,
+    UndefinedError,
+    WallClockTimeoutError,
+)
 from repro.ir.ast import Program, ThisPort
 from repro.ir.ports import DONE, GO
 from repro.sim.model import ComponentInstance
 from repro.stdlib.behaviors import MemD1Model, MemD2Model
 
 DEFAULT_MAX_CYCLES = 5_000_000
+
+#: Cycles without any ``done`` signal changing anywhere in the design
+#: before the watchdog declares deadlock. Generous: the slowest primitive
+#: (the pipelined divider) produces a done edge within a handful of cycles,
+#: so any design making progress trips a change well inside the window.
+DEFAULT_DEADLOCK_WINDOW = 1_024
+
+
+@dataclass
+class Watchdog:
+    """Safety limits for one simulation run.
+
+    ``max_cycles`` bounds simulated time, ``wall_clock_seconds`` bounds
+    real time (None disables), and ``deadlock_window`` is the number of
+    consecutive cycles with no ``done`` change anywhere in the instance
+    tree before the run is declared deadlocked (0 disables). A
+    ``fault_hook`` — called after each settle with ``(cycle, instance)``
+    — is the injection point used by the fault-injection harness.
+    """
+
+    max_cycles: int = DEFAULT_MAX_CYCLES
+    wall_clock_seconds: Optional[float] = None
+    deadlock_window: int = DEFAULT_DEADLOCK_WINDOW
+    fault_hook: Optional[Callable[[int, ComponentInstance], None]] = None
 
 
 @dataclass
@@ -79,19 +110,63 @@ class Testbench:
         return model.value
 
     # -- execution ---------------------------------------------------------
-    def run(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> SimulationResult:
-        """Raise ``go``, clock until ``done``, return cycles and memories."""
+    def run(
+        self,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        watchdog: Optional[Watchdog] = None,
+    ) -> SimulationResult:
+        """Raise ``go``, clock until ``done``, return cycles and memories.
+
+        The :class:`Watchdog` guards the run; ``max_cycles`` is kept as a
+        positional convenience and is overridden by an explicit watchdog.
+        """
+        dog = watchdog or Watchdog(max_cycles=max_cycles)
         inst = self.instance
         inst.nets[ThisPort(GO)] = 1
         cycles = 0
+        deadline = (
+            time.monotonic() + dog.wall_clock_seconds
+            if dog.wall_clock_seconds is not None
+            else None
+        )
+        last_signature = None
+        stalled_cycles = 0
         while True:
             inst.settle()
+            if dog.fault_hook is not None:
+                dog.fault_hook(cycles, inst)
             if inst.read(ThisPort(DONE)):
                 break
-            if cycles >= max_cycles:
-                raise SimulationError(
-                    f"design did not finish within {max_cycles} cycles"
-                )
+            if cycles >= dog.max_cycles:
+                raise CycleLimitError(
+                    f"design did not finish within {dog.max_cycles} cycles",
+                    cycles=cycles,
+                ).with_state(inst.state_dump())
+            if deadline is not None and time.monotonic() > deadline:
+                raise WallClockTimeoutError(
+                    f"simulation exceeded the wall-clock budget of "
+                    f"{dog.wall_clock_seconds}s after {cycles} cycles",
+                    seconds=dog.wall_clock_seconds,
+                    cycles=cycles,
+                ).with_state(inst.state_dump())
+            if dog.deadlock_window:
+                signature = inst.done_signature()
+                if signature == last_signature:
+                    stalled_cycles += 1
+                    if stalled_cycles >= dog.deadlock_window:
+                        stuck = inst.stuck_groups()
+                        detail = inst.deadlock_report()
+                        raise DeadlockError(
+                            f"deadlock: no done signal changed for "
+                            f"{stalled_cycles} cycles (at cycle {cycles}); "
+                            f"stuck groups: {', '.join(stuck) or '(none)'}"
+                            + ("\n" + detail if detail else ""),
+                            stuck_groups=stuck,
+                            cycles=cycles,
+                        ).with_state(inst.state_dump())
+                else:
+                    stalled_cycles = 0
+                    last_signature = signature
             inst.step_edge()
             cycles += 1
         memories = {path: self.read_mem(path) for path in self.memory_paths()}
@@ -106,9 +181,10 @@ def run_program(
     memories: Optional[Dict[str, Sequence[int]]] = None,
     entrypoint: Optional[str] = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    watchdog: Optional[Watchdog] = None,
 ) -> SimulationResult:
     """One-shot convenience: build a testbench, load memories, run."""
     bench = Testbench(program, entrypoint)
     for path, values in (memories or {}).items():
         bench.write_mem(path, values)
-    return bench.run(max_cycles)
+    return bench.run(max_cycles, watchdog=watchdog)

@@ -69,6 +69,79 @@ class TestCli:
             cli_main(["compile", futil_file, "-p", "bogus"])
 
 
+class TestCliErrorHandling:
+    def test_missing_file_is_one_line_error(self, capsys):
+        assert cli_main(["compile", "/no/such/file.futil"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_malformed_mem_values(self, futil_file, capsys):
+        assert cli_main(["run", futil_file, "--mem", "mem=1,oops,3"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "--mem" in err
+
+    def test_malformed_mem_missing_equals(self, futil_file, capsys):
+        assert cli_main(["run", futil_file, "--mem", "mem"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_calyx_error_reported(self, tmp_path, capsys):
+        bad = tmp_path / "bad.futil"
+        bad.write_text("component main( {")
+        assert cli_main(["compile", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_debug_reraises(self):
+        from repro.errors import CalyxError
+
+        with pytest.raises(CalyxError):
+            cli_main(["--debug", "compile", "/no/such/file.futil"])
+
+
+class TestCliRobustnessFlags:
+    def test_timings_flag(self, futil_file, capsys):
+        assert cli_main(["compile", futil_file, "-p", "lower", "--timings"]) == 0
+        err = capsys.readouterr().err
+        assert "well-formed" in err
+        assert "total" in err
+        assert "ms" in err
+
+    def test_timings_on_run(self, futil_file, capsys):
+        assert (
+            cli_main(
+                ["run", futil_file, "--timings", "--mem", "mem=1,2,3,4"]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "cycles:" in captured.out
+        assert "compile-control" in captured.err
+
+    def test_checked_flag(self, futil_file, capsys):
+        assert cli_main(["compile", futil_file, "--checked"]) == 0
+        assert "component main" in capsys.readouterr().out
+
+    def test_difftest_subcommand_passes(self, futil_file, capsys):
+        assert cli_main(["difftest", futil_file, "-p", "lower"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "interpreted" in out
+
+    def test_difftest_bad_file(self, capsys):
+        assert cli_main(["difftest", "/no/such/file.futil"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize(
+    "example", sorted(p.name for p in EXAMPLES.glob("*.futil"))
+)
+def test_futil_example_difftest(example, capsys):
+    """Every shipped .futil example survives the differential oracle."""
+    assert cli_main(["difftest", str(EXAMPLES / example), "-p", "lower"]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
 @pytest.mark.parametrize(
     "script",
     [
