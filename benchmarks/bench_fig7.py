@@ -9,17 +9,21 @@ Run: pytest benchmarks/bench_fig7.py --benchmark-only -s
 """
 
 from repro.eval.common import geomean
-from repro.eval.fig7_systolic import report, run
+from repro.eval.fig7_systolic import report, run, sim_json
 
-from benchmarks.conftest import fig7_sizes
+from benchmarks.conftest import emit_sim_json, fig7_sizes, sim_engine
 
 
-def test_fig7_systolic_vs_hls(benchmark):
+def test_fig7_systolic_vs_hls(benchmark, request):
+    engine = sim_engine(request)
     rows = benchmark.pedantic(
-        lambda: run(sizes=fig7_sizes(), simulate=True), rounds=1, iterations=1
+        lambda: run(sizes=fig7_sizes(), simulate=True, engine=engine),
+        rounds=1,
+        iterations=1,
     )
     print()
     print(report(rows))
+    emit_sim_json(request, sim_json(rows))
 
     # Paper shape assertions: systolic wins, the gap grows with size,
     # LUT overhead is modest, Sensitive gives ~2x.

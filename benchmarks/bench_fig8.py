@@ -9,19 +9,31 @@ Run: pytest benchmarks/bench_fig8.py --benchmark-only -s
 """
 
 from repro.eval.common import geomean
-from repro.eval.fig8_polybench import report, run
+from repro.eval.fig8_polybench import report, run, sim_json
 
-from benchmarks.conftest import polybench_n, polybench_subset
+from benchmarks.conftest import (
+    emit_sim_json,
+    polybench_n,
+    polybench_subset,
+    sim_engine,
+)
 
 
-def test_fig8_polybench_vs_hls(benchmark):
+def test_fig8_polybench_vs_hls(benchmark, request):
+    engine = sim_engine(request)
     rows = benchmark.pedantic(
-        lambda: run(n=polybench_n(), kernels=polybench_subset(), simulate=True),
+        lambda: run(
+            n=polybench_n(),
+            kernels=polybench_subset(),
+            simulate=True,
+            engine=engine,
+        ),
         rounds=1,
         iterations=1,
     )
     print()
     print(report(rows))
+    emit_sim_json(request, sim_json(rows))
 
     plain = [r for r in rows if not r.unrolled]
     unrolled = [r for r in rows if r.unrolled]

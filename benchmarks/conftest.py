@@ -5,9 +5,60 @@ Environment knobs (all optional):
 * ``REPRO_FIG7_SIZES`` — comma-separated systolic sizes (default 2..8),
 * ``REPRO_POLYBENCH_N`` — PolyBench problem size (default 4),
 * ``REPRO_FAST`` — set to 1 to run a reduced, fast configuration.
+
+Command-line options (benchmark runs only):
+
+* ``--engine {sweep,levelized}`` — simulation engine (default: levelized,
+  the event-driven engine; ``sweep`` is the reference interpreter),
+* ``--emit-json FILE`` — write per-kernel simulation throughput
+  (cycles/sec) to FILE; multiple benchmark files merge into one JSON
+  keyed by figure.
 """
 
+import json
 import os
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--engine",
+        default="levelized",
+        choices=["sweep", "levelized"],
+        help="simulation engine for benchmark runs",
+    )
+    parser.addoption(
+        "--emit-json",
+        default=None,
+        metavar="FILE",
+        help="record per-kernel simulation throughput (cycles/sec) as JSON",
+    )
+
+
+def sim_engine(request):
+    """The engine selected with ``--engine`` (levelized by default)."""
+    return request.config.getoption("--engine")
+
+
+def emit_sim_json(request, payload):
+    """Merge one figure's throughput payload into the ``--emit-json`` file.
+
+    Each payload is ``{"figure": ..., "kernels": {...}}``; the file maps
+    figure name -> engine -> kernels, so fig7 and fig8 runs share one
+    file and a sweep run next to a levelized run exposes the speedup
+    directly (compare ``cycles_per_second`` kernel by kernel).
+    """
+    path = request.config.getoption("--emit-json")
+    if not path:
+        return
+    merged = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            merged = json.load(handle)
+    engine = request.config.getoption("--engine")
+    merged.setdefault(payload["figure"], {})[engine] = payload["kernels"]
+    with open(path, "w") as handle:
+        json.dump(merged, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def fig7_sizes():

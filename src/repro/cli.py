@@ -27,7 +27,7 @@ from repro.frontends.dahlia import compile_dahlia
 from repro.frontends.systolic import SystolicConfig, generate_systolic_array
 from repro.ir import parse_program, print_program
 from repro.passes import PIPELINES, make_pass_manager
-from repro.sim import DEFAULT_MAX_CYCLES, run_program
+from repro.sim import DEFAULT_ENGINE, DEFAULT_MAX_CYCLES, ENGINES, run_program
 
 
 def _parse_mems(specs: List[str]) -> Dict[str, List[int]]:
@@ -105,6 +105,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="pass pipeline to run",
         )
 
+    def add_engine(p, default=DEFAULT_ENGINE):
+        p.add_argument(
+            "--engine",
+            default=default,
+            choices=sorted(ENGINES),
+            help="simulation engine (default: %(default)s)",
+        )
+
     def add_robustness(p):
         p.add_argument(
             "--timings",
@@ -132,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_pipeline(p_run)
     p_run.add_argument("--interpret", action="store_true", help="run unlowered")
     p_run.add_argument("--mem", action="append", default=[], metavar="NAME=v1,v2")
+    add_engine(p_run)
     add_robustness(p_run)
 
     p_res = sub.add_parser("resources", help="estimate resources")
@@ -159,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_CYCLES,
         help="cycle budget per execution",
     )
+    add_engine(p_diff)
 
     p_dahlia = sub.add_parser("dahlia", help="compile a mini-Dahlia program")
     p_dahlia.add_argument("file")
@@ -170,6 +180,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_eval = sub.add_parser("eval", help="regenerate a paper figure")
     p_eval.add_argument("figure", choices=["fig7", "fig8", "fig9", "stats"])
+    add_engine(p_eval, default="levelized")
+    p_eval.add_argument(
+        "--emit-json",
+        metavar="FILE",
+        default=None,
+        help="also write per-kernel simulation throughput (cycles/sec) "
+        "to FILE (fig7/fig8 only)",
+    )
 
     return parser
 
@@ -183,7 +201,9 @@ def _dispatch(args) -> int:
         program = parse_program(_read_file(args.file))
         if not args.interpret:
             _compile(program, args)
-        result = run_program(program, memories=_parse_mems(args.mem))
+        result = run_program(
+            program, memories=_parse_mems(args.mem), engine=args.engine
+        )
         print(f"cycles: {result.cycles}")
         for name, values in sorted(result.memories.items()):
             print(f"{name} = {values}")
@@ -202,6 +222,7 @@ def _dispatch(args) -> int:
             pipelines=args.pipelines,
             name=args.file,
             max_cycles=args.max_cycles,
+            engine=args.engine,
         )
         print(report.describe())
         return 0 if report.ok else 1
@@ -217,11 +238,15 @@ def _dispatch(args) -> int:
         if args.figure == "fig7":
             from repro.eval import fig7_systolic
 
-            fig7_systolic.main()
+            rows = fig7_systolic.run(engine=args.engine)
+            print(fig7_systolic.report(rows))
+            _write_sim_json(args, fig7_systolic.sim_json(rows))
         elif args.figure == "fig8":
             from repro.eval import fig8_polybench
 
-            fig8_polybench.main()
+            rows = fig8_polybench.run(engine=args.engine)
+            print(fig8_polybench.report(rows))
+            _write_sim_json(args, fig8_polybench.sim_json(rows))
         elif args.figure == "fig9":
             from repro.eval import fig9_opts
 
@@ -231,6 +256,16 @@ def _dispatch(args) -> int:
 
             table_stats.main()
     return 0
+
+
+def _write_sim_json(args, payload: dict) -> None:
+    if getattr(args, "emit_json", None):
+        import json
+
+        with open(args.emit_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.emit_json}", file=sys.stderr)
 
 
 def main(argv=None) -> int:

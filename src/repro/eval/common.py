@@ -32,6 +32,10 @@ class DesignMetrics:
     resources: Resources
     register_cells: int
     compile_seconds: float
+    #: Wall-clock time of the simulation itself (0.0 when not simulated).
+    sim_seconds: float = 0.0
+    #: The engine that produced ``cycles`` (see ``repro.sim.ENGINES``).
+    engine: str = "sweep"
 
     @property
     def luts(self) -> float:
@@ -40,6 +44,13 @@ class DesignMetrics:
     @property
     def registers(self) -> int:
         return self.resources.registers
+
+    @property
+    def cycles_per_second(self) -> float:
+        """Simulation throughput — the benchmark JSONs record this."""
+        if not self.cycles or self.sim_seconds <= 0:
+            return 0.0
+        return self.cycles / self.sim_seconds
 
 
 def geomean(values: List[float]) -> float:
@@ -56,15 +67,27 @@ def compile_with(program: Program, pipeline: str) -> tuple:
     return program, time.perf_counter() - start
 
 
+#: The evaluation harness simulates with the levelized engine by default:
+#: it is the hot path of Figures 7-9, and the equivalence suite holds the
+#: engines bit-identical, so the reference sweep adds nothing here.
+DEFAULT_EVAL_ENGINE = "levelized"
+
+
 def evaluate_systolic(
-    n: int, pipeline: str = "all", simulate: bool = True
+    n: int,
+    pipeline: str = "all",
+    simulate: bool = True,
+    engine: str = DEFAULT_EVAL_ENGINE,
 ) -> DesignMetrics:
     """Generate, compile, and measure one n-by-n systolic array."""
     program = generate_systolic_array(SystolicConfig.square(n))
     program, seconds = compile_with(program, pipeline)
     cycles = None
+    sim_seconds = 0.0
     if simulate:
-        result = run_program(program, memories=systolic_inputs(n))
+        start = time.perf_counter()
+        result = run_program(program, memories=systolic_inputs(n), engine=engine)
+        sim_seconds = time.perf_counter() - start
         cycles = result.cycles
     return DesignMetrics(
         name=f"systolic-{n}x{n}[{pipeline}]",
@@ -72,6 +95,8 @@ def evaluate_systolic(
         resources=estimate_resources(program),
         register_cells=count_register_cells(program),
         compile_seconds=seconds,
+        sim_seconds=sim_seconds,
+        engine=engine,
     )
 
 
@@ -80,6 +105,7 @@ def evaluate_dahlia_kernel(
     unrolled: bool = False,
     pipeline: str = "all",
     simulate: bool = True,
+    engine: str = DEFAULT_EVAL_ENGINE,
 ) -> DesignMetrics:
     """Compile a PolyBench kernel through Dahlia->Calyx and measure it."""
     source = kernel.unrolled_source if unrolled else kernel.source
@@ -88,11 +114,14 @@ def evaluate_dahlia_kernel(
     design: CompiledDesign = compile_dahlia(source)
     program, seconds = compile_with(design.program, pipeline)
     cycles = None
+    sim_seconds = 0.0
     if simulate:
         mems: Dict[str, List[int]] = {}
         for name, values in kernel.memories_for(unrolled).items():
             mems.update(design.split_memory(name, values))
-        result = run_program(program, memories=mems)
+        start = time.perf_counter()
+        result = run_program(program, memories=mems, engine=engine)
+        sim_seconds = time.perf_counter() - start
         cycles = result.cycles
     suffix = "-unrolled" if unrolled else ""
     return DesignMetrics(
@@ -101,4 +130,6 @@ def evaluate_dahlia_kernel(
         resources=estimate_resources(program),
         register_cells=count_register_cells(program),
         compile_seconds=seconds,
+        sim_seconds=sim_seconds,
+        engine=engine,
     )

@@ -19,7 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.eval.common import DesignMetrics, evaluate_systolic, geomean
+from repro.eval.common import (
+    DEFAULT_EVAL_ENGINE,
+    DesignMetrics,
+    evaluate_systolic,
+    geomean,
+)
 from repro.eval.report import render_table
 from repro.hls import HlsReport
 from repro.workloads.matmul import hls_matmul_report
@@ -34,6 +39,14 @@ class Fig7Row:
     insensitive_luts: float
     hls_cycles: int
     hls_luts: float
+    sim_seconds: float = 0.0
+    engine: str = "sweep"
+
+    @property
+    def cycles_per_second(self) -> float:
+        if not self.systolic_cycles or self.sim_seconds <= 0:
+            return 0.0
+        return self.systolic_cycles / self.sim_seconds
 
     @property
     def speedup(self) -> float:
@@ -48,11 +61,19 @@ class Fig7Row:
         return self.insensitive_cycles / self.systolic_cycles
 
 
-def run(sizes: List[int] = (2, 3, 4, 5, 6, 7, 8), simulate: bool = True) -> List[Fig7Row]:
+def run(
+    sizes: List[int] = (2, 3, 4, 5, 6, 7, 8),
+    simulate: bool = True,
+    engine: str = DEFAULT_EVAL_ENGINE,
+) -> List[Fig7Row]:
     rows: List[Fig7Row] = []
     for n in sizes:
-        sensitive: DesignMetrics = evaluate_systolic(n, "lower-static", simulate)
-        insensitive: DesignMetrics = evaluate_systolic(n, "lower", simulate)
+        sensitive: DesignMetrics = evaluate_systolic(
+            n, "lower-static", simulate, engine=engine
+        )
+        insensitive: DesignMetrics = evaluate_systolic(
+            n, "lower", simulate, engine=engine
+        )
         hls: HlsReport = hls_matmul_report(n)
         rows.append(
             Fig7Row(
@@ -63,9 +84,27 @@ def run(sizes: List[int] = (2, 3, 4, 5, 6, 7, 8), simulate: bool = True) -> List
                 insensitive_luts=insensitive.luts,
                 hls_cycles=hls.latency_cycles,
                 hls_luts=hls.luts,
+                sim_seconds=sensitive.sim_seconds + insensitive.sim_seconds,
+                engine=engine,
             )
         )
     return rows
+
+
+def sim_json(rows: List[Fig7Row]) -> dict:
+    """The ``--emit-json`` payload: simulation throughput per array size."""
+    return {
+        "figure": "fig7",
+        "kernels": {
+            f"systolic-{r.size}x{r.size}": {
+                "cycles": r.systolic_cycles,
+                "sim_seconds": round(r.sim_seconds, 6),
+                "cycles_per_second": round(r.cycles_per_second, 1),
+                "engine": r.engine,
+            }
+            for r in rows
+        },
+    }
 
 
 def report(rows: List[Fig7Row]) -> str:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.eval.common import evaluate_dahlia_kernel, geomean
+from repro.eval.common import DEFAULT_EVAL_ENGINE, evaluate_dahlia_kernel, geomean
 from repro.eval.report import render_table
 from repro.frontends.dahlia.parser import parse
 from repro.frontends.dahlia.typecheck import typecheck
@@ -32,6 +32,8 @@ class Fig8Row:
     calyx_luts: float
     hls_cycles: int
     hls_luts: float
+    sim_seconds: float = 0.0
+    engine: str = "sweep"
 
     @property
     def slowdown(self) -> float:
@@ -41,9 +43,22 @@ class Fig8Row:
     def lut_ratio(self) -> float:
         return self.calyx_luts / self.hls_luts
 
+    @property
+    def cycles_per_second(self) -> float:
+        if not self.calyx_cycles or self.sim_seconds <= 0:
+            return 0.0
+        return self.calyx_cycles / self.sim_seconds
 
-def measure(kernel: Kernel, unrolled: bool, simulate: bool = True) -> Fig8Row:
-    metrics = evaluate_dahlia_kernel(kernel, unrolled=unrolled, pipeline="all", simulate=simulate)
+
+def measure(
+    kernel: Kernel,
+    unrolled: bool,
+    simulate: bool = True,
+    engine: str = DEFAULT_EVAL_ENGINE,
+) -> Fig8Row:
+    metrics = evaluate_dahlia_kernel(
+        kernel, unrolled=unrolled, pipeline="all", simulate=simulate, engine=engine
+    )
     source = kernel.unrolled_source if unrolled else kernel.source
     assert source is not None
     hls = schedule_program(
@@ -56,6 +71,8 @@ def measure(kernel: Kernel, unrolled: bool, simulate: bool = True) -> Fig8Row:
         calyx_luts=metrics.luts,
         hls_cycles=hls.latency_cycles,
         hls_luts=hls.luts,
+        sim_seconds=metrics.sim_seconds,
+        engine=engine,
     )
 
 
@@ -65,15 +82,32 @@ def run(
     kernels: Optional[List[str]] = None,
     simulate: bool = True,
     include_unrolled: bool = True,
+    engine: str = DEFAULT_EVAL_ENGINE,
 ) -> List[Fig8Row]:
     rows: List[Fig8Row] = []
     for kernel in polybench_kernels(n, unroll):
         if kernels is not None and kernel.name not in kernels:
             continue
-        rows.append(measure(kernel, unrolled=False, simulate=simulate))
+        rows.append(measure(kernel, unrolled=False, simulate=simulate, engine=engine))
         if include_unrolled and kernel.unrollable:
-            rows.append(measure(kernel, unrolled=True, simulate=simulate))
+            rows.append(measure(kernel, unrolled=True, simulate=simulate, engine=engine))
     return rows
+
+
+def sim_json(rows: List[Fig8Row]) -> dict:
+    """The ``--emit-json`` payload: simulation throughput per kernel."""
+    return {
+        "figure": "fig8",
+        "kernels": {
+            r.name + ("-u" if r.unrolled else ""): {
+                "cycles": r.calyx_cycles,
+                "sim_seconds": round(r.sim_seconds, 6),
+                "cycles_per_second": round(r.cycles_per_second, 1),
+                "engine": r.engine,
+            }
+            for r in rows
+        },
+    }
 
 
 def report(rows: List[Fig8Row]) -> str:

@@ -166,6 +166,7 @@ def difftest_program(
     check_latency: bool = True,
     checked_passes: bool = False,
     compiled_transform: Optional[Callable[[Program], None]] = None,
+    engine: str = "sweep",
 ) -> DifftestReport:
     """Run the differential oracle over ``program``.
 
@@ -177,6 +178,10 @@ def difftest_program(
     ``compiled_transform`` mutates the copy handed to each pipeline (the
     reference stays pristine) — this is how the fault-injection harness
     models a miscompile the oracle must catch.
+
+    ``engine`` selects the simulation engine for *both* executions, so the
+    oracle (and the fault-injection self-test built on it) exercises the
+    levelized engine's error detection exactly as it does the sweep's.
     """
     validate_program(program)
     if memories is None:
@@ -184,7 +189,9 @@ def difftest_program(
     mems = {k: list(v) for k, v in memories.items()}
     watchdog = Watchdog(max_cycles=max_cycles)
 
-    ref_result = run_program(program.copy(), memories=mems, watchdog=watchdog)
+    ref_result = run_program(
+        program.copy(), memories=mems, watchdog=watchdog, engine=engine
+    )
     reference = PipelineOutcome(
         "interpret", cycles=ref_result.cycles, memories=dict(ref_result.memories)
     )
@@ -197,7 +204,9 @@ def difftest_program(
                 compiled_transform(compiled)
             compile_program(compiled, pipeline, checked=checked_passes)
             declared = compiled.main.attributes.get(STATIC)
-            result = run_program(compiled, memories=mems, watchdog=watchdog)
+            result = run_program(
+                compiled, memories=mems, watchdog=watchdog, engine=engine
+            )
         except CalyxError as exc:
             detail = f"{type(exc).__name__}: {exc}"
             report.outcomes.append(PipelineOutcome(pipeline, error=detail))

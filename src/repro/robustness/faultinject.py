@@ -240,12 +240,15 @@ def run_selftest(
     pipelines: Sequence[str] = ("lower",),
     memories: Optional[Dict[str, List[int]]] = None,
     max_cycles: int = 50_000,
+    engine: str = "sweep",
 ) -> List[SelfTestRecord]:
     """Inject one IR fault per seed into the compiled side of the oracle.
 
     Every fault must be caught by *some* layer; "escaped" records are
     expected only for semantics-preserving mutations (e.g. in dead code)
-    and are reported so callers can eyeball the escape rate.
+    and are reported so callers can eyeball the escape rate. ``engine``
+    selects the simulation engine under test, so the classification can be
+    asserted to hold for the levelized engine as well as the sweep.
     """
     records: List[SelfTestRecord] = []
     for seed in seeds:
@@ -263,6 +266,7 @@ def run_selftest(
             check_latency=False,
             checked_passes=True,
             compiled_transform=transform,
+            engine=engine,
         )
         mutation = holder.get("mutation")
         caught_by, detail = _classify(report)

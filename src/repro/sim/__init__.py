@@ -14,6 +14,7 @@ fixpoint (the *settle* phase), then stateful primitives latch their inputs
 Differential testing between the two modes validates the compiler.
 """
 
+from repro.sim.fastmodel import FastComponentInstance
 from repro.sim.model import ComponentInstance, eval_guard
 from repro.sim.testbench import (
     Testbench,
@@ -21,16 +22,23 @@ from repro.sim.testbench import (
     Watchdog,
     run_program,
     DEFAULT_DEADLOCK_WINDOW,
+    DEFAULT_ENGINE,
     DEFAULT_MAX_CYCLES,
+    ENGINES,
+    resolve_engine,
 )
 
 __all__ = [
     "ComponentInstance",
+    "FastComponentInstance",
     "eval_guard",
     "Testbench",
     "SimulationResult",
     "Watchdog",
     "run_program",
     "DEFAULT_DEADLOCK_WINDOW",
+    "DEFAULT_ENGINE",
     "DEFAULT_MAX_CYCLES",
+    "ENGINES",
+    "resolve_engine",
 ]

@@ -1,0 +1,1009 @@
+"""The levelized event-driven simulation engine (``engine="levelized"``).
+
+The sweep engine (:mod:`repro.sim.model`) re-evaluates *every* guarded
+assignment and primitive in a Gauss-Seidel loop until fixpoint on every
+clock phase. Most of a lowered Calyx design is a static combinational
+netlist, so that work can be scheduled once, at construction:
+
+* every port reference is assigned an integer *slot* in a flat value
+  array; guards and sources are precompiled into closures over slots,
+  replacing dict-keyed ``PortRef`` reads,
+* a port-level dependency graph is extracted from the assignments and the
+  primitive models' declared combinational dependencies
+  (``PrimitiveModel.comb_deps``), condensed into strongly connected
+  components, and topologically *levelized*,
+* evaluation is event-driven: a dirty set (seeded by input changes, clock
+  edges, and control-state transitions) is drained in level order, so only
+  work downstream of an actual change re-runs. Acyclic regions evaluate at
+  most once per phase; genuine combinational cycles fall back to bounded
+  fixpoint iteration inside their SCC, preserving
+  :class:`~repro.errors.OscillationError` /
+  :class:`~repro.errors.CombinationalLoopError` semantics.
+
+The class mirrors :class:`~repro.sim.model.ComponentInstance`'s protocol
+(``comb``/``tick``/``reset``, ``nets``, ``find``, watchdog hooks), so the
+testbench, watchdog, deadlock reporting, and windowed net-fault injection
+all compose unchanged. Both engines are locked together by
+``tests/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections.abc import MutableMapping
+from heapq import heappop, heappush
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import (
+    CombinationalLoopError,
+    MultipleDriverError,
+    OscillationError,
+    SimulationError,
+    UndefinedError,
+)
+from repro.ir.ast import (
+    Assignment,
+    CellPort,
+    Component,
+    ConstPort,
+    HolePort,
+    PortRef,
+    Program,
+    ThisPort,
+)
+from repro.ir.control import Invoke
+from repro.ir.guards import (
+    AndGuard,
+    CmpGuard,
+    Guard,
+    NotGuard,
+    OrGuard,
+    PortGuard,
+    TrueGuard,
+)
+from repro.ir.ports import DONE, GO
+from repro.ir.types import Direction
+from repro.sim.model import ControlExecutor, PrimitiveInstance, eval_guard
+from repro.sim.structural import check_structural_drivers, static_drivers
+from repro.stdlib.behaviors import PrimitiveModel, make_model
+
+_CMP_FNS: Dict[str, Callable[[int, int], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    ">": operator.gt,
+    "<=": operator.le,
+    ">=": operator.ge,
+}
+
+_EMPTY: frozenset = frozenset()
+
+
+# ---------------------------------------------------------------------------
+# Guard / source compilation to closures over integer slots
+# ---------------------------------------------------------------------------
+
+
+class _GuardCompiler:
+    """Compiles guard trees into ``fn(values) -> bool`` closures.
+
+    Also records every slot the compiled closure reads, which becomes the
+    dependency edges of the assignment's resolver node.
+    """
+
+    def __init__(self, slot_of: Callable[[PortRef], int]):
+        self.slot_of = slot_of
+        self.read_slots: Set[int] = set()
+
+    def _operand(self, ref: PortRef):
+        """(is_const, const_value_or_slot) for one guard operand."""
+        if isinstance(ref, ConstPort):
+            return True, ref.value
+        slot = self.slot_of(ref)
+        self.read_slots.add(slot)
+        return False, slot
+
+    def compile(self, guard: Guard) -> Optional[Callable[[List[int]], bool]]:
+        """``None`` means "always true" (the common unconditional case)."""
+        if isinstance(guard, TrueGuard):
+            return None
+        if isinstance(guard, PortGuard):
+            const, x = self._operand(guard.port)
+            if const:
+                return (lambda v: True) if x else (lambda v: False)
+            return lambda v, i=x: v[i] != 0
+        if isinstance(guard, NotGuard):
+            inner = self.compile(guard.inner)
+            if inner is None:
+                return lambda v: False
+            return lambda v, f=inner: not f(v)
+        if isinstance(guard, AndGuard):
+            left, right = self.compile(guard.left), self.compile(guard.right)
+            if left is None:
+                return right
+            if right is None:
+                return left
+            return lambda v, a=left, b=right: a(v) and b(v)
+        if isinstance(guard, OrGuard):
+            left, right = self.compile(guard.left), self.compile(guard.right)
+            if left is None or right is None:
+                return None
+            return lambda v, a=left, b=right: a(v) or b(v)
+        if isinstance(guard, CmpGuard):
+            fn = _CMP_FNS[guard.op]
+            lconst, left = self._operand(guard.left)
+            rconst, right = self._operand(guard.right)
+            if lconst and rconst:
+                result = fn(left, right)
+                return (lambda v: True) if result else (lambda v: False)
+            if lconst:
+                return lambda v, f=fn, c=left, i=right: f(c, v[i])
+            if rconst:
+                return lambda v, f=fn, i=left, c=right: f(v[i], c)
+            return lambda v, f=fn, i=left, j=right: f(v[i], v[j])
+        raise SimulationError(f"cannot compile guard {guard!r}")
+
+
+class _Driver:
+    """One precompiled assignment driving a destination slot."""
+
+    __slots__ = ("gate_slot", "flag", "guard_fn", "src_slot", "src_const", "assign")
+
+    def __init__(
+        self,
+        gate_slot: Optional[int],
+        flag: Optional[int],
+        guard_fn: Optional[Callable[[List[int]], bool]],
+        src_slot: Optional[int],
+        src_const: int,
+        assign: Assignment,
+    ):
+        self.gate_slot = gate_slot
+        self.flag = flag
+        self.guard_fn = guard_fn
+        self.src_slot = src_slot
+        self.src_const = src_const
+        self.assign = assign
+
+
+# ---------------------------------------------------------------------------
+# Evaluation nodes
+# ---------------------------------------------------------------------------
+
+
+class _ResolverNode:
+    """Computes the committed value of one destination slot.
+
+    Evaluates every driver of the destination: inactive gates and false
+    guards drop out, agreeing drivers coalesce, disagreeing drivers raise
+    :class:`MultipleDriverError`, and an undriven destination falls to 0 —
+    exactly the sweep engine's commit rule. Go holes additionally apply the
+    executor's enable/force overrides.
+    """
+
+    __slots__ = ("index", "slot", "drivers", "go_group", "done_slot", "in_slots", "path")
+
+    def __init__(self, index, slot, drivers, go_group, done_slot, in_slots, path):
+        self.index = index
+        self.slot = slot
+        self.drivers: List[_Driver] = drivers
+        self.go_group: Optional[str] = go_group
+        self.done_slot: Optional[int] = done_slot
+        self.in_slots: List[int] = in_slots
+        self.path = path
+
+    def fire(self, inst: "FastComponentInstance") -> Tuple[int, ...]:
+        v = inst._values
+        flags = inst._invoke_flags
+        value = 0
+        winner: Optional[_Driver] = None
+        for d in self.drivers:
+            gate = d.gate_slot
+            if gate is not None and not v[gate]:
+                continue
+            if d.flag is not None and not flags[d.flag]:
+                continue
+            guard = d.guard_fn
+            if guard is not None and not guard(v):
+                continue
+            val = v[d.src_slot] if d.src_slot is not None else d.src_const
+            if winner is None:
+                winner, value = d, val
+            elif val != value:
+                raise MultipleDriverError(
+                    f"{self.path}: port {d.assign.dst.to_string()} driven "
+                    f"to both {value} and {val} by\n  "
+                    f"{winner.assign.to_string()}\n  {d.assign.to_string()}"
+                )
+        group = self.go_group
+        if group is not None:
+            if group in inst._forced:
+                value = 1
+            elif group in inst._active:
+                value = 0 if v[self.done_slot] else 1
+        if v[self.slot] != value:
+            v[self.slot] = value
+            return (self.slot,)
+        return ()
+
+
+class _ChildNode:
+    """Wraps one cell instance: inputs in, combinational outputs out."""
+
+    __slots__ = (
+        "index",
+        "name",
+        "child",
+        "in_ports",
+        "in_slots",
+        "dep_slots",
+        "out_slot_map",
+        "stateful",
+    )
+
+    def __init__(self, index, name, child, in_ports, in_slots, dep_slots, out_slot_map, stateful):
+        self.index = index
+        self.name = name
+        self.child = child
+        self.in_ports: List[str] = in_ports
+        self.in_slots: List[int] = in_slots
+        self.dep_slots: List[int] = dep_slots
+        self.out_slot_map: Dict[str, int] = out_slot_map
+        self.stateful = stateful
+
+    def fire(self, inst: "FastComponentInstance") -> List[int]:
+        v = inst._values
+        ins = {p: v[s] for p, s in zip(self.in_ports, self.in_slots)}
+        changed: List[int] = []
+        for port, val in self.child.comb(ins).items():
+            slot = self.out_slot_map.get(port)
+            if slot is not None and v[slot] != val:
+                v[slot] = val
+                changed.append(slot)
+        return changed
+
+
+class _DoneNode:
+    """Drives ``this.done`` from latched executor state (unlowered form)."""
+
+    __slots__ = ("index", "slot", "in_slots")
+
+    def __init__(self, index, slot):
+        self.index = index
+        self.slot = slot
+        self.in_slots: List[int] = []
+
+    def fire(self, inst: "FastComponentInstance") -> Tuple[int, ...]:
+        value = 1 if inst._finished else 0
+        if inst._values[self.slot] != value:
+            inst._values[self.slot] = value
+            return (self.slot,)
+        return ()
+
+
+# ---------------------------------------------------------------------------
+# The nets view (watchdog / fault-injection compatibility)
+# ---------------------------------------------------------------------------
+
+
+class _SlotNets(MutableMapping):
+    """Dict-like view of the slot array, keyed by :class:`PortRef`.
+
+    Exists so external pokes — the fault-injection hook writes
+    ``inst.nets[ref] = value`` — keep working against the levelized
+    engine: a write lands in the slot array and dirties both the slot's
+    fanout (so downstream logic sees the fault) and its own producer (so
+    the next settle recomputes the clean value, as the sweep engine's
+    full re-evaluation would). Unknown refs are stored inertly, matching
+    a write to an unused net in the sweep engine's dict.
+    """
+
+    def __init__(self, inst: "FastComponentInstance"):
+        self._inst = inst
+
+    def __getitem__(self, ref: PortRef) -> int:
+        slot = self._inst._slots.get(ref)
+        if slot is not None:
+            return self._inst._values[slot]
+        return self._inst._extra_nets[ref]
+
+    def __setitem__(self, ref: PortRef, value: int) -> None:
+        inst = self._inst
+        slot = inst._slots.get(ref)
+        if slot is None:
+            inst._extra_nets[ref] = value
+            return
+        if inst._values[slot] != value:
+            inst._values[slot] = value
+            inst._mark_slot(slot)
+            writer = inst._writer.get(slot)
+            if writer is not None:
+                inst._mark_node(writer)
+
+    def __delitem__(self, ref: PortRef) -> None:
+        inst = self._inst
+        slot = inst._slots.get(ref)
+        if slot is None:
+            del inst._extra_nets[ref]
+        else:
+            self[ref] = 0
+
+    def __iter__(self) -> Iterator[PortRef]:
+        yield from self._inst._slot_refs
+        yield from self._inst._extra_nets
+
+    def __len__(self) -> int:
+        return len(self._inst._slot_refs) + len(self._inst._extra_nets)
+
+    def clear(self) -> None:
+        inst = self._inst
+        inst._values[:] = [0] * len(inst._values)
+        inst._extra_nets.clear()
+        inst._mark_all()
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class FastComponentInstance:
+    """Levelized, event-driven drop-in for :class:`ComponentInstance`."""
+
+    #: Extra probe sweeps used to tell a limit cycle from non-convergence
+    #: (mirrors the sweep engine's constant).
+    OSCILLATION_PROBE_ITERS = 64
+
+    def __init__(self, program: Program, comp: Component, path: str = "main"):
+        self.program = program
+        self.comp = comp
+        self.path = path
+        self.children: Dict[str, object] = {}
+        self._child_inputs: Dict[str, List[str]] = {}
+        self.input_ports = [p.name for p in comp.inputs]
+        for cell in comp.cells.values():
+            self.children[cell.name] = self._make_child(cell)
+            sig = program.cell_signature(cell)
+            self._child_inputs[cell.name] = [
+                p.name for p in sig.values() if p.direction is Direction.INPUT
+            ]
+        self._done_from_wires = any(
+            isinstance(a.dst, ThisPort) and a.dst.port == DONE
+            for _, a in comp.all_assignments()
+        )
+        check_structural_drivers(comp, self.path)
+        self.executor = ControlExecutor(self, comp.control)
+        self._extra_nets: Dict[PortRef, int] = {}
+        self._io_deps: Optional[List[str]] = None
+        self._build()
+        self.nets = _SlotNets(self)
+        self._go_was_high = False
+        self._reset_dynamic()
+
+    # -- construction -----------------------------------------------------
+    def _make_child(self, cell) -> object:
+        name = cell.comp_name
+        if self.program.has_component(name):
+            target = self.program.get_component(name)
+            if target.cells or target.groups or target.continuous or not target.control.is_empty():
+                return FastComponentInstance(
+                    self.program, target, f"{self.path}.{cell.name}"
+                )
+            is_extern = any(
+                any(c.name == name for c in e.components) for e in self.program.externs
+            )
+            if is_extern:
+                return PrimitiveInstance(
+                    make_model(name, cell.args),
+                    [p.name for p in target.inputs],
+                )
+            return FastComponentInstance(
+                self.program, target, f"{self.path}.{cell.name}"
+            )
+        sig = self.program.cell_signature(cell)
+        inputs = [p.name for p in sig.values() if p.direction is Direction.INPUT]
+        return PrimitiveInstance(make_model(name, cell.args), inputs)
+
+    def _slot(self, ref: PortRef) -> int:
+        slot = self._slots.get(ref)
+        if slot is None:
+            slot = len(self._slot_refs)
+            self._slots[ref] = slot
+            self._slot_refs.append(ref)
+        return slot
+
+    def _compile_driver(
+        self,
+        gate: Optional[str],
+        flag: Optional[int],
+        assign: Assignment,
+    ) -> Tuple[_Driver, Set[int]]:
+        compiler = _GuardCompiler(self._slot)
+        guard_fn = compiler.compile(assign.guard)
+        reads = set(compiler.read_slots)
+        if isinstance(assign.src, ConstPort):
+            src_slot, src_const = None, assign.src.value
+        else:
+            src_slot, src_const = self._slot(assign.src), 0
+            reads.add(src_slot)
+        gate_slot = None
+        if gate is not None:
+            gate_slot = self._slot(HolePort(gate, GO))
+            reads.add(gate_slot)
+        return _Driver(gate_slot, flag, guard_fn, src_slot, src_const, assign), reads
+
+    def _build(self) -> None:
+        comp = self.comp
+        self._slots: Dict[PortRef, int] = {}
+        self._slot_refs: List[PortRef] = []
+        for port in list(comp.inputs) + list(comp.outputs):
+            self._slot(ThisPort(port.name))
+        self._go_slot = self._slot(ThisPort(GO))
+        self._this_done_slot = self._slot(ThisPort(DONE))
+
+        # -- drivers per destination (deterministic first-seen order) ------
+        driver_map: Dict[PortRef, List[_Driver]] = {}
+        dep_map: Dict[PortRef, Set[int]] = {}
+
+        def add_driver(dst: PortRef, driver: _Driver, reads: Set[int]) -> None:
+            driver_map.setdefault(dst, []).append(driver)
+            dep_map.setdefault(dst, set()).update(reads)
+
+        for gate, assign in static_drivers(comp):
+            driver, reads = self._compile_driver(gate, None, assign)
+            add_driver(assign.dst, driver, reads)
+
+        # Invoke-synthesized bindings, gated by per-phase flags keyed to
+        # the control-tree node (stable across executor resets).
+        self._invoke_flag_of: Dict[int, int] = {}
+        self._flag_dsts: List[List[PortRef]] = []
+        for node in comp.control.walk():
+            if not isinstance(node, Invoke):
+                continue
+            flag = len(self._flag_dsts)
+            self._invoke_flag_of[id(node)] = flag
+            dsts: List[PortRef] = []
+            synthesized: List[Assignment] = []
+            for port, src in node.in_binds.items():
+                synthesized.append(Assignment(CellPort(node.cell, port), src))
+            for port, dst in node.out_binds.items():
+                synthesized.append(Assignment(dst, CellPort(node.cell, port)))
+            synthesized.append(
+                Assignment(
+                    CellPort(node.cell, GO),
+                    ConstPort(1, 1),
+                    NotGuard(PortGuard(CellPort(node.cell, DONE))),
+                )
+            )
+            for assign in synthesized:
+                driver, reads = self._compile_driver(None, flag, assign)
+                add_driver(assign.dst, driver, reads)
+                dsts.append(assign.dst)
+            self._flag_dsts.append(dsts)
+
+        # Every group's go hole resolves even with no structural driver, so
+        # deactivating groups release their assignments; invoke dsts too.
+        all_dsts: List[PortRef] = list(driver_map)
+        seen = set(driver_map)
+        for extra in [HolePort(name, GO) for name in comp.groups] + list(
+            self.executor.extra_dsts()
+        ):
+            if extra not in seen:
+                seen.add(extra)
+                all_dsts.append(extra)
+                driver_map.setdefault(extra, [])
+                dep_map.setdefault(extra, set())
+
+        # The executor owns this.done unless wires drive it (lowered form).
+        if not self._done_from_wires and ThisPort(DONE) in driver_map:
+            del driver_map[ThisPort(DONE)]
+            dep_map.pop(ThisPort(DONE), None)
+            all_dsts.remove(ThisPort(DONE))
+
+        # -- nodes, in the sweep engine's evaluation order -----------------
+        self._nodes: List[object] = []
+        self._stateful_nodes: List[int] = []
+        self._go_resolver_of: Dict[str, int] = {}
+        self._flag_nodes: List[Set[int]] = [set() for _ in self._flag_dsts]
+
+        for cell in comp.cells.values():
+            child = self.children[cell.name]
+            sig = self.program.cell_signature(cell)
+            in_ports = self._child_inputs[cell.name]
+            in_slots = [self._slot(CellPort(cell.name, p)) for p in in_ports]
+            out_slot_map = {
+                p.name: self._slot(CellPort(cell.name, p.name))
+                for p in sig.values()
+                if p.direction is Direction.OUTPUT
+            }
+            if isinstance(child, PrimitiveInstance):
+                deps = child.model.comb_deps
+                if deps:
+                    dep_names = sorted({d for lst in deps.values() for d in lst})
+                else:
+                    # A model that declares nothing is treated as fully
+                    # combinational: safe for externs that predate comb_deps.
+                    dep_names = list(in_ports)
+                stateful = type(child.model).tick is not PrimitiveModel.tick
+            else:
+                dep_names = child.comb_input_deps()
+                stateful = True
+            dep_slots = [
+                self._slot(CellPort(cell.name, p)) for p in dep_names if p in in_ports
+            ]
+            index = len(self._nodes)
+            node = _ChildNode(
+                index, cell.name, child, in_ports, in_slots, dep_slots, out_slot_map, stateful
+            )
+            self._nodes.append(node)
+            if stateful:
+                self._stateful_nodes.append(index)
+
+        for dst in all_dsts:
+            slot = self._slot(dst)
+            drivers = driver_map[dst]
+            in_slots = sorted(dep_map[dst])
+            go_group = done_slot = None
+            if isinstance(dst, HolePort) and dst.port == GO:
+                go_group = dst.group
+                done_slot = self._slot(HolePort(dst.group, DONE))
+                if done_slot not in in_slots:
+                    in_slots.append(done_slot)
+            index = len(self._nodes)
+            node = _ResolverNode(
+                index, slot, drivers, go_group, done_slot, in_slots, self.path
+            )
+            self._nodes.append(node)
+            for driver in drivers:
+                if driver.flag is not None:
+                    self._flag_nodes[driver.flag].add(index)
+            if go_group is not None:
+                self._go_resolver_of[go_group] = index
+
+        self._done_node: Optional[int] = None
+        if not self._done_from_wires and self._this_done_slot is not None:
+            index = len(self._nodes)
+            self._nodes.append(_DoneNode(index, self._this_done_slot))
+            self._done_node = index
+
+        self._values: List[int] = [0] * len(self._slot_refs)
+        self._done_slots = [
+            i
+            for i, ref in enumerate(self._slot_refs)
+            if getattr(ref, "port", None) == DONE
+        ]
+
+        # -- fanout, writers, SCCs, levels ---------------------------------
+        n_slots = len(self._slot_refs)
+        self._fanout: List[List[int]] = [[] for _ in range(n_slots)]
+        self._writer: Dict[int, int] = {}
+        for node in self._nodes:
+            for slot in self._node_out_slots(node):
+                self._writer[slot] = node.index
+        for node in self._nodes:
+            for slot in node.in_slots if not isinstance(node, _ChildNode) else node.dep_slots:
+                self._fanout[slot].append(node.index)
+        self._levelize()
+
+    def _node_out_slots(self, node) -> List[int]:
+        if isinstance(node, _ChildNode):
+            return list(node.out_slot_map.values())
+        return [node.slot]
+
+    def _levelize(self) -> None:
+        """Tarjan SCC condensation + longest-path levels over the DAG."""
+        n = len(self._nodes)
+        adj: List[List[int]] = [[] for _ in range(n)]
+        for node in self._nodes:
+            for slot in self._node_out_slots(node):
+                adj[node.index].extend(self._fanout[slot])
+
+        scc_of = [-1] * n
+        sccs: List[List[int]] = []
+        index_of = [-1] * n
+        low = [0] * n
+        on_stack = [False] * n
+        stack: List[int] = []
+        counter = [0]
+
+        for root in range(n):
+            if index_of[root] != -1:
+                continue
+            # Iterative Tarjan: (node, iterator position) work stack.
+            work = [(root, 0)]
+            while work:
+                v, pi = work.pop()
+                if pi == 0:
+                    index_of[v] = low[v] = counter[0]
+                    counter[0] += 1
+                    stack.append(v)
+                    on_stack[v] = True
+                recurse = False
+                for i in range(pi, len(adj[v])):
+                    w = adj[v][i]
+                    if index_of[w] == -1:
+                        work.append((v, i + 1))
+                        work.append((w, 0))
+                        recurse = True
+                        break
+                    if on_stack[w]:
+                        low[v] = min(low[v], index_of[w])
+                if recurse:
+                    continue
+                if low[v] == index_of[v]:
+                    component = []
+                    while True:
+                        w = stack.pop()
+                        on_stack[w] = False
+                        scc_of[w] = len(sccs)
+                        component.append(w)
+                        if w == v:
+                            break
+                    # Deterministic member order = construction order.
+                    component.sort()
+                    sccs.append(component)
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[v])
+
+        self._scc_of = scc_of
+        self._scc_nodes = sccs
+        self._scc_cyclic = [
+            len(members) > 1 or members[0] in adj[members[0]] for members in sccs
+        ]
+        # Tarjan emits SCCs in reverse topological order; walk forward.
+        levels = [0] * len(sccs)
+        for scc_id in range(len(sccs) - 1, -1, -1):
+            for member in sccs[scc_id]:
+                for succ in adj[member]:
+                    succ_scc = scc_of[succ]
+                    if succ_scc != scc_id and levels[succ_scc] <= levels[scc_id]:
+                        levels[succ_scc] = levels[scc_id] + 1
+        self._scc_level = levels
+
+    def comb_input_deps(self) -> List[str]:
+        """Input ports with a combinational path to some output.
+
+        Used by a parent instance to wire this child into its dependency
+        graph. ``go`` is always included when the component has control or
+        groups: group activation (and thereby outputs) can follow ``go``
+        combinationally through the phase configuration, which the slot
+        graph does not model as edges.
+        """
+        if self._io_deps is not None:
+            return self._io_deps
+        out_slots = {
+            self._slots[ThisPort(p.name)]
+            for p in self.comp.outputs
+            if ThisPort(p.name) in self._slots
+        }
+        deps: List[str] = []
+        for port in self.comp.inputs:
+            start = self._slots.get(ThisPort(port.name))
+            if start is None:
+                continue
+            if self._slot_reaches(start, out_slots):
+                deps.append(port.name)
+        if GO not in deps and (self.comp.groups or not self.comp.control.is_empty()):
+            deps.append(GO)
+        self._io_deps = deps
+        return deps
+
+    def _slot_reaches(self, start: int, targets: Set[int]) -> bool:
+        if start in targets:
+            return True
+        seen_nodes: Set[int] = set()
+        frontier = [start]
+        while frontier:
+            slot = frontier.pop()
+            for node_idx in self._fanout[slot]:
+                if node_idx in seen_nodes:
+                    continue
+                seen_nodes.add(node_idx)
+                for out in self._node_out_slots(self._nodes[node_idx]):
+                    if out in targets:
+                        return True
+                    frontier.append(out)
+        return False
+
+    # -- dirty-set bookkeeping --------------------------------------------
+    def _reset_dynamic(self) -> None:
+        self._values[:] = [0] * len(self._values)
+        self._extra_nets.clear()
+        self._invoke_flags: List[bool] = [False] * len(self._flag_dsts)
+        self._active: Set[str] = set()
+        self._forced: Set[str] = set()
+        self._finished = False
+        self._dirty_set: Set[int] = set()
+        self._dirty_heap: List[Tuple[int, int]] = []
+        self._mark_all()
+
+    def _mark_scc(self, scc: int) -> None:
+        if scc not in self._dirty_set:
+            self._dirty_set.add(scc)
+            heappush(self._dirty_heap, (self._scc_level[scc], scc))
+
+    def _mark_node(self, node_idx: int) -> None:
+        self._mark_scc(self._scc_of[node_idx])
+
+    def _mark_slot(self, slot: int) -> None:
+        for node_idx in self._fanout[slot]:
+            self._mark_scc(self._scc_of[node_idx])
+
+    def _mark_all(self) -> None:
+        for scc in range(len(self._scc_nodes)):
+            self._mark_scc(scc)
+
+    # -- net access --------------------------------------------------------
+    def read(self, ref: PortRef) -> int:
+        if isinstance(ref, ConstPort):
+            return ref.value
+        slot = self._slots.get(ref)
+        if slot is not None:
+            return self._values[slot]
+        return self._extra_nets.get(ref, 0)
+
+    # -- the primitive protocol --------------------------------------------
+    def comb(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        self._apply_inputs(inputs)
+        self.settle()
+        return {p.name: self.read(ThisPort(p.name)) for p in self.comp.outputs}
+
+    def tick(self, inputs: Dict[str, int]) -> None:
+        self._apply_inputs(inputs)
+        self.settle()
+        self.step_edge()
+
+    def _apply_inputs(self, inputs: Dict[str, int]) -> None:
+        values = self._values
+        for name, value in inputs.items():
+            slot = self._slots.get(ThisPort(name))
+            if slot is None:
+                self._extra_nets[ThisPort(name)] = value
+            elif values[slot] != value:
+                values[slot] = value
+                self._mark_slot(slot)
+
+    def reset(self) -> None:
+        self.executor.reset()
+        for child in self.children.values():
+            child.reset()
+        self._go_was_high = False
+        self._reset_dynamic()
+
+    # -- simulation core ----------------------------------------------------
+    def _running(self) -> bool:
+        return self._values[self._go_slot] != 0
+
+    def settle(self) -> None:
+        """Drain the dirty set in level order (one clock phase)."""
+        self._begin_phase()
+        self._drain()
+
+    def _begin_phase(self) -> None:
+        """Diff the executor-derived configuration, dirtying what moved."""
+        executor = self.executor
+        running = self._running()
+        active = executor.active_groups() if running else _EMPTY
+        forced = executor.forced_groups() if running else _EMPTY
+        self._finished = executor.finished()
+        changed = (set(active) ^ self._active) | (set(forced) ^ self._forced)
+        if changed:
+            for group in changed:
+                node_idx = self._go_resolver_of.get(group)
+                if node_idx is not None:
+                    self._mark_node(node_idx)
+            self._active = set(active)
+            self._forced = set(forced)
+        if self._flag_dsts:
+            live = {
+                self._invoke_flag_of[id(node)]
+                for node in executor.active_invoke_nodes()
+                if id(node) in self._invoke_flag_of
+            }
+            flags = self._invoke_flags
+            for flag in range(len(flags)):
+                on = flag in live
+                if flags[flag] != on:
+                    flags[flag] = on
+                    for node_idx in self._flag_nodes[flag]:
+                        self._mark_node(node_idx)
+        if self._done_node is not None:
+            self._mark_node(self._done_node)
+
+    def _drain(self) -> None:
+        heap = self._dirty_heap
+        dirty = self._dirty_set
+        nodes = self._scc_nodes
+        while heap:
+            _, scc = heappop(heap)
+            if scc not in dirty:
+                continue
+            dirty.discard(scc)
+            if self._scc_cyclic[scc]:
+                self._run_cyclic_scc(scc)
+            else:
+                node = self._nodes[nodes[scc][0]]
+                for slot in node.fire(self):
+                    self._mark_slot(slot)
+
+    def _run_cyclic_scc(self, scc: int) -> None:
+        """Bounded fixpoint iteration inside one combinational cycle."""
+        members = [self._nodes[i] for i in self._scc_nodes[scc]]
+        scc_of = self._scc_of
+        limit = 8 * (len(members) + 8)
+        for _ in range(limit):
+            any_change = False
+            for node in members:
+                for slot in node.fire(self):
+                    any_change = True
+                    for reader in self._fanout[slot]:
+                        if scc_of[reader] != scc:
+                            self._mark_scc(scc_of[reader])
+            if not any_change:
+                return
+        self._diagnose_nonconvergence(limit)
+
+    def _diagnose_nonconvergence(self, spent_iters: int) -> None:
+        """Out of iterations: classify limit cycle vs. divergence.
+
+        Escalates to whole-design probe sweeps (every node, in order) while
+        fingerprinting the slot array — the levelized analogue of the sweep
+        engine's diagnosis, raising :class:`OscillationError` with the
+        toggling nets and period on a repeated fingerprint, else
+        :class:`CombinationalLoopError`.
+        """
+        seen: Dict[Tuple[int, ...], int] = {}
+        history: List[List[int]] = []
+        for i in range(self.OSCILLATION_PROBE_ITERS):
+            fingerprint = tuple(self._values)
+            if fingerprint in seen:
+                start = seen[fingerprint]
+                period = i - start
+                cycle_states = history[start:]
+                toggling = sorted(
+                    {
+                        self._slot_refs[slot].to_string()
+                        for state in cycle_states
+                        for slot, val in enumerate(state)
+                        if any(s[slot] != val for s in cycle_states)
+                    }
+                )
+                raise OscillationError(
+                    f"{self.path}: combinational limit cycle with period "
+                    f"{period}: nets oscillate forever: "
+                    + ", ".join(toggling[:12])
+                    + ("..." if len(toggling) > 12 else ""),
+                    nets=toggling,
+                    period=period,
+                ).with_state(self.state_dump())
+            seen[fingerprint] = i
+            history.append(list(self._values))
+            any_change = False
+            for node in self._nodes:
+                if node.fire(self):
+                    any_change = True
+            if not any_change:
+                # Converged late: the probe visited every node, so the
+                # dirty bookkeeping is satisfied wholesale.
+                self._dirty_set.clear()
+                self._dirty_heap.clear()
+                return
+        raise CombinationalLoopError(
+            f"{self.path}: combinational logic did not converge after "
+            f"{spent_iters + self.OSCILLATION_PROBE_ITERS} iterations "
+            f"(values still changing; not a finite limit cycle)"
+        ).with_state(self.state_dump())
+
+    def step_edge(self) -> None:
+        """The clock edge: latch children, advance control state."""
+        values = self._values
+        slots = self._slots
+        pending: List[Tuple[object, Dict[str, int]]] = []
+        for name, child in self.children.items():
+            ins = {}
+            for port in self._child_inputs[name]:
+                slot = slots.get(CellPort(name, port))
+                ins[port] = values[slot] if slot is not None else 0
+            pending.append((child, ins))
+        if self._running():
+            self.executor.step()
+            self._go_was_high = True
+        elif self._go_was_high:
+            self.executor.reset()
+            self._go_was_high = False
+        for child, ins in pending:
+            child.tick(ins)
+        for node_idx in self._stateful_nodes:
+            self._mark_node(node_idx)
+
+    # -- watchdog support ----------------------------------------------------
+    def state_dump(self, max_nets: int = 48) -> str:
+        """Human-readable snapshot of nets and control state for reports."""
+        lines = [f"instance {self.path}:"]
+        if self.comp.groups:
+            active = sorted(
+                self.executor.active_groups() if self._running() else set()
+            )
+            lines.append(f"  active groups: {', '.join(active) or '(none)'}")
+        nets = sorted(
+            (ref.to_string(), self._values[slot])
+            for ref, slot in self._slots.items()
+        )
+        for name, val in nets[:max_nets]:
+            lines.append(f"  {name} = {val}")
+        if len(nets) > max_nets:
+            lines.append(f"  ... ({len(nets) - max_nets} more nets)")
+        for child in self.children.values():
+            if isinstance(child, FastComponentInstance):
+                lines.append(child.state_dump(max_nets=max_nets // 2))
+        return "\n".join(lines)
+
+    def done_signature(self) -> Tuple:
+        """Values of every ``done``-like net, recursively (watchdog food)."""
+        values: List[object] = [self._values[slot] for slot in self._done_slots]
+        for child in self.children.values():
+            if isinstance(child, FastComponentInstance):
+                values.append(child.done_signature())
+        return tuple(values)
+
+    def stuck_groups(self) -> List[str]:
+        """Dotted names of groups active right now, recursively."""
+        out = [
+            f"{self.path}.{name}"
+            for name in sorted(
+                self.executor.active_groups() if self._running() else set()
+            )
+        ]
+        for child in self.children.values():
+            if isinstance(child, FastComponentInstance):
+                out.extend(child.stuck_groups())
+        return out
+
+    def deadlock_report(self) -> str:
+        """Explain what each active group's done condition is waiting on."""
+        lines: List[str] = []
+        active = sorted(
+            self.executor.active_groups() if self._running() else set()
+        )
+        for name in active:
+            group = self.comp.groups[name]
+            lines.append(f"{self.path}: group {name!r} is stuck; waiting on:")
+            done_writes = group.done_assignments()
+            if not done_writes:
+                lines.append("    (group has no done condition)")
+            for assign in done_writes:
+                guard_val = eval_guard(assign.guard, self.read)
+                src_val = self.read(assign.src)
+                lines.append(
+                    f"    {assign.to_string()}  "
+                    f"[guard={'1' if guard_val else '0'}, src={src_val}]"
+                )
+        if not active and self._running() and self.comp.groups:
+            lines.append(
+                f"{self.path}: running but no group is active "
+                f"(control executor state inconsistent?)"
+            )
+        for child in self.children.values():
+            if isinstance(child, FastComponentInstance):
+                sub = child.deadlock_report()
+                if sub:
+                    lines.append(sub)
+        return "\n".join(lines)
+
+    # -- inspection ----------------------------------------------------------
+    def find(self, path: str) -> object:
+        """Locate a child instance by dotted cell path (e.g. ``"pe0.acc"``)."""
+        parts = path.split(".")
+        node: object = self
+        for part in parts:
+            if not isinstance(node, FastComponentInstance) or part not in node.children:
+                raise UndefinedError(f"no cell at path {path!r}")
+            node = node.children[part]
+        return node
+
+    def find_model(self, path: str) -> PrimitiveModel:
+        node = self.find(path)
+        if isinstance(node, PrimitiveInstance):
+            return node.model
+        raise UndefinedError(f"cell at {path!r} is not a primitive")

@@ -57,6 +57,7 @@ from repro.ir.guards import (
 )
 from repro.ir.ports import DONE, GO
 from repro.ir.types import Direction
+from repro.sim.structural import check_structural_drivers, static_drivers
 from repro.stdlib.behaviors import PrimitiveModel, make_model
 
 ReadFn = Callable[[PortRef], int]
@@ -133,6 +134,7 @@ class ComponentInstance:
             isinstance(a.dst, ThisPort) and a.dst.port == DONE
             for _, a in comp.all_assignments()
         )
+        check_structural_drivers(comp, self.path)
         self.executor = ControlExecutor(self, comp.control)
         # All destinations any assignment can drive: undriven ones read 0.
         # Every group's go hole is included so that groups leaving the
@@ -341,19 +343,13 @@ class ComponentInstance:
 
         Writes to a group's own done hole are ungated (gate ``None``): this
         matches GoInsertion, which guards every assignment in a group with
-        the group's go *except* its done condition.
+        the group's go *except* its done condition. The static part is the
+        shared :func:`~repro.sim.structural.static_drivers` enumeration, so
+        both simulation engines agree on the driver set.
         """
-        result: List[Tuple[Optional[str], Assignment]] = []
-        for group in self.comp.groups.values():
-            for assign in group.assignments:
-                is_own_done = (
-                    isinstance(assign.dst, HolePort)
-                    and assign.dst.group == group.name
-                    and assign.dst.port == DONE
-                )
-                result.append((None if is_own_done else group.name, assign))
-        for assign in self.comp.continuous:
-            result.append((None, assign))
+        result: List[Tuple[Optional[str], Assignment]] = list(
+            static_drivers(self.comp)
+        )
         result.extend(self.executor.extra_assignments(active))
         return result
 
@@ -503,6 +499,14 @@ class _NodeState:
     def extra_assignments(self, out: List[Tuple[Optional[str], Assignment]]) -> None:
         """Add invoke-synthesized assignments when active."""
 
+    def invoke_nodes(self, out: List[Invoke]) -> None:
+        """Add the :class:`Invoke` control nodes currently driving a cell.
+
+        The levelized engine precompiles each invoke's synthesized
+        assignments once (keyed by the control-tree node, which is stable
+        across executor resets) and uses this walk to know which are live.
+        """
+
     def step(self) -> None:
         """Advance at the clock edge using the settled net values."""
 
@@ -572,6 +576,10 @@ class _InvokeState(_NodeState):
         if not self._finished:
             out.extend(self._assigns)
 
+    def invoke_nodes(self, out: List[Invoke]) -> None:
+        if not self._finished:
+            out.append(self.node)
+
     def step(self) -> None:
         if not self._finished and self.owner.value(CellPort(self.node.cell, DONE)):
             self._finished = True
@@ -610,6 +618,10 @@ class _SeqState(_NodeState):
         if not self.is_done():
             self.states[self.index].extra_assignments(out)
 
+    def invoke_nodes(self, out) -> None:
+        if not self.is_done():
+            self.states[self.index].invoke_nodes(out)
+
     def step(self) -> None:
         if self.is_done():
             return
@@ -647,6 +659,11 @@ class _ParState(_NodeState):
         for state in self.states:
             if not state.is_done():
                 state.extra_assignments(out)
+
+    def invoke_nodes(self, out) -> None:
+        for state in self.states:
+            if not state.is_done():
+                state.invoke_nodes(out)
 
     def step(self) -> None:
         for state in self.states:
@@ -707,6 +724,10 @@ class _IfState(_CondMixin):
         if self.phase == "branch" and self.chosen is not None:
             self.chosen.extra_assignments(out)
 
+    def invoke_nodes(self, out) -> None:
+        if self.phase == "branch" and self.chosen is not None:
+            self.chosen.invoke_nodes(out)
+
     def step(self) -> None:
         if self.phase == "cond":
             if self.cond_finished():
@@ -748,6 +769,10 @@ class _WhileState(_CondMixin):
     def extra_assignments(self, out) -> None:
         if self.phase == "body":
             self.body.extra_assignments(out)
+
+    def invoke_nodes(self, out) -> None:
+        if self.phase == "body":
+            self.body.invoke_nodes(out)
 
     def step(self) -> None:
         if self.phase == "cond":
@@ -793,6 +818,10 @@ class _RepeatState(_NodeState):
     def extra_assignments(self, out) -> None:
         if not self.is_done():
             self.body.extra_assignments(out)
+
+    def invoke_nodes(self, out) -> None:
+        if not self.is_done():
+            self.body.invoke_nodes(out)
 
     def step(self) -> None:
         if self.is_done():
@@ -861,6 +890,13 @@ class ControlExecutor:
         out: List[Tuple[Optional[str], Assignment]] = []
         if not self.root.is_done():
             self.root.extra_assignments(out)
+        return out
+
+    def active_invoke_nodes(self) -> List[Invoke]:
+        """The invoke control nodes whose bindings are currently live."""
+        out: List[Invoke] = []
+        if not self.root.is_done():
+            self.root.invoke_nodes(out)
         return out
 
     def extra_dsts(self) -> Iterable[PortRef]:

@@ -21,10 +21,34 @@ from repro.errors import (
 )
 from repro.ir.ast import Program, ThisPort
 from repro.ir.ports import DONE, GO
+from repro.sim.fastmodel import FastComponentInstance
 from repro.sim.model import ComponentInstance
 from repro.stdlib.behaviors import MemD1Model, MemD2Model
 
 DEFAULT_MAX_CYCLES = 5_000_000
+
+#: The selectable simulation engines. ``sweep`` is the reference
+#: interpreter (Gauss-Seidel fixpoint over every assignment each phase);
+#: ``levelized`` is the event-driven engine that schedules the netlist
+#: once at construction. Both expose the same instance protocol, and
+#: ``tests/test_engine_equivalence.py`` holds them bit-identical.
+ENGINES: Dict[str, Callable] = {
+    "sweep": ComponentInstance,
+    "levelized": FastComponentInstance,
+}
+
+DEFAULT_ENGINE = "sweep"
+
+
+def resolve_engine(name: str) -> Callable:
+    """Look up an engine constructor by name (raising a helpful error)."""
+    try:
+        return ENGINES[name]
+    except KeyError:
+        raise UndefinedError(
+            f"unknown simulation engine {name!r}; "
+            f"choose from {', '.join(sorted(ENGINES))}"
+        ) from None
 
 #: Cycles without any ``done`` signal changing anywhere in the design
 #: before the watchdog declares deadlock. Generous: the slowest primitive
@@ -68,10 +92,17 @@ class SimulationResult:
 class Testbench:
     """Owns a component instance and runs it to completion."""
 
-    def __init__(self, program: Program, entrypoint: Optional[str] = None):
+    def __init__(
+        self,
+        program: Program,
+        entrypoint: Optional[str] = None,
+        engine: str = DEFAULT_ENGINE,
+    ):
         self.program = program
+        self.engine = engine
         name = entrypoint or program.entrypoint
-        self.instance = ComponentInstance(program, program.get_component(name))
+        make_instance = resolve_engine(engine)
+        self.instance = make_instance(program, program.get_component(name))
 
     # -- memory poking ----------------------------------------------------
     def _memory(self, path: str):
@@ -182,9 +213,10 @@ def run_program(
     entrypoint: Optional[str] = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
     watchdog: Optional[Watchdog] = None,
+    engine: str = DEFAULT_ENGINE,
 ) -> SimulationResult:
     """One-shot convenience: build a testbench, load memories, run."""
-    bench = Testbench(program, entrypoint)
+    bench = Testbench(program, entrypoint, engine=engine)
     for path, values in (memories or {}).items():
         bench.write_mem(path, values)
     return bench.run(max_cycles, watchdog=watchdog)

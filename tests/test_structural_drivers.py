@@ -1,0 +1,140 @@
+"""Regression tests for structural multi-driver detection.
+
+The sweep engine's ``_settle_once`` historically collected assignments in
+source order, so two *unconditional* drivers of the same port in the same
+scope were silently masked whenever they happened to agree on a value —
+the second write overwrote (or matched) the first and no
+``MultipleDriverError`` was raised. That is a wiring bug in the design
+regardless of the values involved: both engines now reject it
+structurally, at construction time, before a single cycle runs.
+
+Cross-scope pairs (a group driver plus a continuous one) stay a *dynamic*
+check — they are only a conflict if both scopes are live with different
+values — and those semantics are pinned by ``tests/test_sim.py``.
+"""
+
+import pytest
+
+from repro.errors import MultipleDriverError
+from repro.ir import parse_program
+from repro.sim import Testbench
+
+ENGINES = ["sweep", "levelized"]
+
+# Two unconditional drivers of r.in inside the same group, from different
+# sources that evaluate to the SAME value — the historically masked case.
+SAME_SCOPE_AGREEING = """
+component main(go: 1) -> (done: 1) {
+  cells { r = std_reg(32); a = std_add(32); }
+  wires {
+    group g {
+      a.left = 32'd1;
+      a.right = 32'd0;
+      r.in = 32'd1;
+      r.in = a.out;
+      r.write_en = 1;
+      g[done] = r.done;
+    }
+  }
+  control { g; }
+}
+"""
+
+# Same shape but with visibly different constants.
+SAME_SCOPE_DISAGREEING = """
+component main(go: 1) -> (done: 1) {
+  cells { r = std_reg(32); }
+  wires {
+    group g {
+      r.in = 32'd1;
+      r.in = 32'd2;
+      r.write_en = 1;
+      g[done] = r.done;
+    }
+  }
+  control { g; }
+}
+"""
+
+# Two unconditional continuous assignments (top-level scope).
+CONTINUOUS_PAIR = """
+component main(go: 1) -> (done: 1) {
+  cells { r = std_reg(32); w = std_wire(32); }
+  wires {
+    w.in = 32'd3;
+    w.in = 32'd4;
+    group g { r.in = w.out; r.write_en = 1; g[done] = r.done; }
+  }
+  control { g; }
+}
+"""
+
+# Literal duplicate of the same assignment: harmless, stays accepted.
+IDENTICAL_DUPLICATE = """
+component main(go: 1) -> (done: 1) {
+  cells { r = std_reg(32); }
+  wires {
+    group g {
+      r.in = 32'd7;
+      r.in = 32'd7;
+      r.write_en = 1;
+      g[done] = r.done;
+    }
+  }
+  control { g; }
+}
+"""
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestStructuralMultiDriver:
+    def test_same_scope_agreeing_values_rejected(self, engine):
+        """The masked case: agreement on a value must not hide the second
+        driver — construction fails before any simulation happens."""
+        program = parse_program(SAME_SCOPE_AGREEING)
+        with pytest.raises(MultipleDriverError) as exc_info:
+            Testbench(program, engine=engine)
+        assert "r.in" in str(exc_info.value)
+
+    def test_same_scope_disagreeing_values_rejected(self, engine):
+        program = parse_program(SAME_SCOPE_DISAGREEING)
+        with pytest.raises(MultipleDriverError) as exc_info:
+            Testbench(program, engine=engine)
+        assert "r.in" in str(exc_info.value)
+
+    def test_continuous_scope_rejected(self, engine):
+        program = parse_program(CONTINUOUS_PAIR)
+        with pytest.raises(MultipleDriverError) as exc_info:
+            Testbench(program, engine=engine)
+        assert "w.in" in str(exc_info.value)
+
+    def test_identical_duplicate_tolerated(self, engine):
+        """The exact same assignment written twice is redundant wiring,
+        not a conflict; the design still runs to completion."""
+        program = parse_program(IDENTICAL_DUPLICATE)
+        bench = Testbench(program, engine=engine)
+        bench.run(max_cycles=1_000)
+        assert bench.instance.find_model("r").value == 7
+
+    def test_guarded_drivers_stay_dynamic(self, engine):
+        """A guarded driver next to an unconditional one is statically
+        legal — the conflict (if any) can only be judged at runtime."""
+        src = """
+component main(go: 1) -> (done: 1) {
+  cells { r = std_reg(32); flag = std_reg(1); }
+  wires {
+    group g {
+      r.in = flag.out ? 32'd1;
+      r.in = 32'd2;
+      r.write_en = 1;
+      g[done] = r.done;
+    }
+  }
+  control { g; }
+}
+"""
+        # flag stays 0, so only the unconditional driver fires: legal.
+        program = parse_program(src)
+        bench = Testbench(program, engine=engine)
+        bench.run(max_cycles=1_000)
+        assert bench.instance.find_model("r").value == 2
