@@ -1,0 +1,85 @@
+"""Generic graph algorithms shared by the simulator and the linter.
+
+The levelized engine condenses its port-level dependency graph into
+strongly connected components to schedule evaluation; the lint framework
+condenses a *statically* extracted combinational graph to find cycles
+without instantiating a simulator. Both use the same iterative Tarjan
+implementation so they cannot disagree about what a cycle is.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def tarjan_scc(adj: Sequence[Sequence[int]]) -> Tuple[List[int], List[List[int]]]:
+    """Strongly connected components of a graph given as adjacency lists.
+
+    Returns ``(scc_of, sccs)`` where ``scc_of[v]`` is the component index
+    of vertex ``v`` and ``sccs`` lists each component's members (sorted).
+    Components are emitted in *reverse topological order*: every edge goes
+    from a later component to an earlier one, so walking ``sccs`` backwards
+    visits sources first. Iterative (explicit work stack), so graph depth
+    is not bounded by the Python recursion limit.
+    """
+    n = len(adj)
+    scc_of = [-1] * n
+    sccs: List[List[int]] = []
+    index_of = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: List[int] = []
+    counter = [0]
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # Iterative Tarjan: (node, iterator position) work stack.
+        work = [(root, 0)]
+        while work:
+            v, pi = work.pop()
+            if pi == 0:
+                index_of[v] = low[v] = counter[0]
+                counter[0] += 1
+                stack.append(v)
+                on_stack[v] = True
+            recurse = False
+            for i in range(pi, len(adj[v])):
+                w = adj[v][i]
+                if index_of[w] == -1:
+                    work.append((v, i + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index_of[w])
+            if recurse:
+                continue
+            if low[v] == index_of[v]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    scc_of[w] = len(sccs)
+                    component.append(w)
+                    if w == v:
+                        break
+                # Deterministic member order = vertex numbering order.
+                component.sort()
+                sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+
+    return scc_of, sccs
+
+
+def cyclic_sccs(
+    adj: Sequence[Sequence[int]],
+    scc_of: Sequence[int],
+    sccs: Sequence[Sequence[int]],
+) -> List[bool]:
+    """Which components are genuine cycles (size > 1, or a self-loop)."""
+    return [
+        len(members) > 1 or members[0] in adj[members[0]] for members in sccs
+    ]

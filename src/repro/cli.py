@@ -4,6 +4,7 @@ Subcommands::
 
     calyx-py compile  FILE [-p PIPELINE] [--emit {calyx,verilog}] [--timings]
     calyx-py run      FILE [-p PIPELINE] [--mem NAME=v1,v2,...] [--interpret]
+    calyx-py lint     FILE... [-p PIPELINE] [--stages] [--format {text,json}]
     calyx-py resources FILE [-p PIPELINE]
     calyx-py difftest FILE [-p PIPELINE ...] [--mem NAME=v1,v2,...]
     calyx-py dahlia   FILE [--emit {calyx,verilog}] [-p PIPELINE]
@@ -13,6 +14,11 @@ Subcommands::
 ``FILE`` is Calyx surface syntax (``.futil``) except for ``dahlia``.
 Toolchain failures print a one-line ``error: ...`` to stderr and exit 1;
 pass ``--debug`` (before the subcommand) to get the full traceback.
+
+``lint`` has stable exit codes: 0 when no error-severity diagnostics were
+found (warnings allowed), 1 when at least one file has lint errors, and 2
+when the toolchain itself failed (unreadable file, parse error, or a
+pass crashing during ``--stages``).
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ def _compile(program, args) -> None:
         args.pipeline,
         checked=getattr(args, "checked", False),
         keep_going=getattr(args, "keep_going", False),
+        lint=getattr(args, "lint", False),
     )
     manager.run(program)
     if getattr(args, "keep_going", False):
@@ -129,11 +136,53 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="skip (and report) failing passes instead of aborting",
         )
+        p.add_argument(
+            "--lint",
+            action="store_true",
+            help="run the full lint rule set after every pass and fail on "
+            "error-severity findings (implies a checked pass manager)",
+        )
 
     p_compile = sub.add_parser("compile", help="compile a Calyx program")
     p_compile.add_argument("file")
     add_common(p_compile)
     add_robustness(p_compile)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static linter over one or more programs"
+    )
+    p_lint.add_argument("files", nargs="*", metavar="FILE")
+    p_lint.add_argument(
+        "-p",
+        "--pipeline",
+        default=None,
+        choices=sorted(PIPELINES),
+        help="compile with this pipeline before linting (default: lint "
+        "the program as written)",
+    )
+    p_lint.add_argument(
+        "--stages",
+        action="store_true",
+        help="with --pipeline: lint the program as parsed and again after "
+        "every pass, reporting the stage that introduced each finding",
+    )
+    p_lint.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        dest="fmt",
+        help="diagnostic output format",
+    )
+    p_lint.add_argument(
+        "--core",
+        action="store_true",
+        help="run only the core well-formedness rules (what validation runs)",
+    )
+    p_lint.add_argument(
+        "--rules",
+        action="store_true",
+        help="list every rule id with severity and description, then exit",
+    )
 
     p_run = sub.add_parser("run", help="compile and simulate a Calyx program")
     p_run.add_argument("file")
@@ -192,11 +241,105 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _lint_stages(source: str, pipeline, stages: bool, core: bool):
+    """Yield ``(stage_name, LintReport)`` for one file's lint run."""
+    from repro.lint import lint_program
+    from repro.passes.base import PassManager
+    from repro.passes.pipeline import resolve_pipeline
+
+    program = parse_program(source)
+    if pipeline is None:
+        yield "source", lint_program(program, core_only=core)
+        return
+    if not stages:
+        make_pass_manager(pipeline).run(program)
+        yield pipeline, lint_program(program, core_only=core)
+        return
+    yield "source", lint_program(program, core_only=core)
+    for pass_name in resolve_pipeline(pipeline):
+        PassManager([pass_name]).run(program)
+        yield pass_name, lint_program(program, core_only=core)
+
+
+def _lint_command(args) -> int:
+    from repro.lint import rule_table
+
+    if args.rules:
+        rows = rule_table()
+        width = max(len(r["id"]) for r in rows)
+        for row in rows:
+            core = " (core)" if row["core"] == "yes" else ""
+            print(
+                f"{row['id']:<{width}}  {row['severity']:<7}  "
+                f"{row['description']}{core}"
+            )
+        return 0
+    if not args.files:
+        raise CalyxError("lint: no input files (or pass --rules)")
+
+    any_errors = False
+    toolchain_failed = False
+    json_files = []
+    for path in args.files:
+        stage_reports = []
+        try:
+            source = _read_file(path)
+            for stage, report in _lint_stages(
+                source, args.pipeline, args.stages, args.core
+            ):
+                stage_reports.append((stage, report))
+        except CalyxError as exc:
+            if args.debug:
+                raise
+            toolchain_failed = True
+            if args.fmt == "json":
+                json_files.append({"file": path, "failure": str(exc)})
+            else:
+                print(f"{path}: toolchain failure: {exc}", file=sys.stderr)
+            continue
+
+        file_errors = sum(len(r.errors) for _, r in stage_reports)
+        any_errors = any_errors or file_errors > 0
+        if args.fmt == "json":
+            json_files.append(
+                {
+                    "file": path,
+                    "errors": file_errors,
+                    "stages": [
+                        {"stage": stage, **report.to_json()}
+                        for stage, report in stage_reports
+                    ],
+                }
+            )
+        else:
+            total = sum(len(r.diagnostics) for _, r in stage_reports)
+            if total == 0:
+                stages = len(stage_reports)
+                suffix = f" across {stages} stages" if stages > 1 else ""
+                print(f"== {path}: clean{suffix}")
+            for stage, report in stage_reports:
+                if not report.diagnostics:
+                    continue  # clean stages already summarized above
+                header = f"{path}" + (f" [{stage}]" if stage != "source" else "")
+                print(f"== {header}: {report.summary()}")
+                print(report.format_text())
+
+    if args.fmt == "json":
+        import json
+
+        print(json.dumps({"files": json_files}, indent=2, sort_keys=True))
+    if toolchain_failed:
+        return 2
+    return 1 if any_errors else 0
+
+
 def _dispatch(args) -> int:
     if args.command == "compile":
         program = parse_program(_read_file(args.file))
         _compile(program, args)
         print(_emit(program, args.emit))
+    elif args.command == "lint":
+        return _lint_command(args)
     elif args.command == "run":
         program = parse_program(_read_file(args.file))
         if not args.interpret:

@@ -101,6 +101,19 @@ class PassDiagnostic(PassError):
         return "\n".join(parts)
 
 
+class LintError(CalyxError):
+    """Raised when an opt-in lint gate finds error-severity diagnostics.
+
+    Carries the full :class:`repro.lint.LintReport` so callers (the
+    checked pass manager, the testbench pre-flight) can show every
+    finding, not just the first.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
 class SimulationError(CalyxError):
     """Raised by the simulator, e.g. on combinational cycles or timeouts."""
 

@@ -47,9 +47,12 @@ class Assignment:
     Mirrors an RTL continuous assignment (paper Section 3.2): updates to the
     source are immediately visible at the destination whenever the guard is
     true.
+
+    ``span`` is the source position recorded by the parser (None for
+    assignments built programmatically); copies and rewrites preserve it.
     """
 
-    __slots__ = ("dst", "src", "guard")
+    __slots__ = ("dst", "src", "guard", "span")
 
     def __init__(self, dst: PortRef, src: PortRef, guard: Guard = G_TRUE):
         if isinstance(dst, ConstPort):
@@ -57,10 +60,13 @@ class Assignment:
         self.dst = dst
         self.src = src
         self.guard = guard
+        self.span = None
 
     def map_ports(self, fn: Callable[[PortRef], PortRef]) -> "Assignment":
         """Return a copy with every port (dst, src, guard) rewritten."""
-        return Assignment(fn(self.dst), fn(self.src), self.guard.map_ports(fn))
+        new = Assignment(fn(self.dst), fn(self.src), self.guard.map_ports(fn))
+        new.span = self.span
+        return new
 
     def ports(self) -> Iterator[PortRef]:
         """All ports mentioned: destination, source, then guard ports."""
@@ -77,7 +83,9 @@ class Assignment:
         return isinstance(self.guard, type(G_TRUE))
 
     def copy(self) -> "Assignment":
-        return Assignment(self.dst, self.src, self.guard)
+        new = Assignment(self.dst, self.src, self.guard)
+        new.span = self.span
+        return new
 
     def to_string(self) -> str:
         if self.is_unconditional():
@@ -95,7 +103,7 @@ class Cell:
     ``args == (32,)``. User-defined components take no parameters.
     """
 
-    __slots__ = ("name", "comp_name", "args", "attributes", "external")
+    __slots__ = ("name", "comp_name", "args", "attributes", "external", "span")
 
     def __init__(
         self,
@@ -110,9 +118,12 @@ class Cell:
         self.args = tuple(int(a) for a in args)
         self.attributes = attributes or Attributes()
         self.external = external
+        self.span = None
 
     def copy(self) -> "Cell":
-        return Cell(self.name, self.comp_name, self.args, self.attributes.copy(), self.external)
+        new = Cell(self.name, self.comp_name, self.args, self.attributes.copy(), self.external)
+        new.span = self.span
+        return new
 
     def to_string(self) -> str:
         args = ", ".join(str(a) for a in self.args)
@@ -132,7 +143,7 @@ class Group:
     may only be used to compute ``if``/``while`` conditions.
     """
 
-    __slots__ = ("name", "assignments", "attributes", "comb")
+    __slots__ = ("name", "assignments", "attributes", "comb", "span")
 
     def __init__(
         self,
@@ -145,6 +156,7 @@ class Group:
         self.assignments: List[Assignment] = list(assignments or [])
         self.attributes = attributes or Attributes()
         self.comb = comb
+        self.span = None
 
     @property
     def go(self) -> HolePort:
@@ -163,12 +175,14 @@ class Group:
         ]
 
     def copy(self) -> "Group":
-        return Group(
+        new = Group(
             self.name,
             [a.copy() for a in self.assignments],
             self.attributes.copy(),
             self.comb,
         )
+        new.span = self.span
+        return new
 
     def __repr__(self) -> str:
         kind = "comb group" if self.comb else "group"
@@ -201,6 +215,7 @@ class Component:
         self.groups: Dict[str, Group] = {}
         self.continuous: List[Assignment] = []
         self.control: Control = Empty()
+        self.span = None
         self._name_counter = itertools.count()
 
         if add_interface:
@@ -305,6 +320,7 @@ class Component:
             clone.add_group(group.copy())
         clone.continuous = [a.copy() for a in self.continuous]
         clone.control = self.control.copy()
+        clone.span = self.span
         return clone
 
     def __repr__(self) -> str:

@@ -28,6 +28,11 @@ from repro.ir.ports import PortRef
 class Control:
     """Abstract base class for control tree nodes."""
 
+    #: Source position recorded by the parser; ``None`` for nodes built
+    #: programmatically. A class attribute so that the many ``copy``
+    #: implementations need not thread it.
+    span = None
+
     def __init__(self, attributes: Optional[Attributes] = None):
         self.attributes = attributes or Attributes()
 

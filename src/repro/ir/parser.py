@@ -41,7 +41,7 @@ from repro.ir.guards import (
     OrGuard,
     PortGuard,
 )
-from repro.ir.types import Direction, PortDef
+from repro.ir.types import Direction, PortDef, Span
 
 _TOKEN_RE = re.compile(
     r"""
@@ -195,6 +195,7 @@ class _Parser:
 
     # -- component --------------------------------------------------------
     def parse_component(self, signature_only: bool = False) -> Component:
+        start = self.peek()
         attrs = self._parse_at_attributes()
         self.expect("component")
         name = self.expect_kind("NAME").text
@@ -207,6 +208,7 @@ class _Parser:
         outputs = self._parse_port_defs(Direction.OUTPUT)
         self.expect(")")
         comp = Component(name, inputs, outputs, attrs)
+        comp.span = Span(start.line, start.column)
         if signature_only:
             self.accept(";")
             return comp
@@ -264,6 +266,7 @@ class _Parser:
 
     # -- cells ----------------------------------------------------------
     def parse_cell(self) -> Cell:
+        start = self.peek()
         attrs = self._parse_at_attributes()
         external = attrs.has("external")
         attrs.remove("external")
@@ -279,10 +282,13 @@ class _Parser:
                 break
         self.expect(")")
         self.expect(";")
-        return Cell(name, comp_name, args, attrs, external)
+        cell = Cell(name, comp_name, args, attrs, external)
+        cell.span = Span(start.line, start.column)
+        return cell
 
     # -- wires -----------------------------------------------------------
     def parse_group(self) -> Group:
+        start = self.peek()
         comb = self.accept("comb")
         self.expect("group")
         name = self.expect_kind("NAME").text
@@ -292,14 +298,19 @@ class _Parser:
         while not self.at("}"):
             assigns.append(self.parse_assignment())
         self.expect("}")
-        return Group(name, assigns, attrs, comb)
+        group = Group(name, assigns, attrs, comb)
+        group.span = Span(start.line, start.column)
+        return group
 
     def parse_assignment(self) -> Assignment:
+        start = self.peek()
         dst = self.parse_port()
         self.expect("=")
         guard, src = self.parse_guarded_src()
         self.expect(";")
-        return Assignment(dst, src, guard)
+        assign = Assignment(dst, src, guard)
+        assign.span = Span(start.line, start.column)
+        return assign
 
     def parse_guarded_src(self) -> Tuple[Guard, PortRef]:
         """Parse ``[guard ?] src`` resolving the guard/source ambiguity."""
@@ -367,6 +378,12 @@ class _Parser:
 
     # -- control --------------------------------------------------------------
     def parse_control(self) -> Control:
+        start = self.peek()
+        node = self._parse_control_node()
+        node.span = Span(start.line, start.column)
+        return node
+
+    def _parse_control_node(self) -> Control:
         tok = self.peek()
         if tok.text == "seq":
             self.next()
@@ -528,7 +545,9 @@ class _Sizer:
         dst_width = self.width_of(assign.dst)
         src = self.size(assign.src, dst_width, "assignment source")
         guard = self._fix_guard(assign.guard)
-        return Assignment(assign.dst, src, guard)
+        fixed = Assignment(assign.dst, src, guard)
+        fixed.span = assign.span
+        return fixed
 
     def _fix_guard(self, guard: Guard) -> Guard:
         if isinstance(guard, CmpGuard):

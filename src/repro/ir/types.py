@@ -1,4 +1,4 @@
-"""Port definitions and directions for component signatures."""
+"""Port definitions, directions, and source spans for the IL."""
 
 from __future__ import annotations
 
@@ -7,6 +7,35 @@ from typing import Optional
 
 from repro.errors import ValidationError
 from repro.ir.attributes import Attributes
+
+
+class Span:
+    """A source position (1-based line and column) for diagnostics.
+
+    Spans are threaded from the parser onto IL constructs so lint
+    diagnostics can point back into the ``.futil`` text. Constructs built
+    programmatically (by frontends or passes) simply have no span.
+    """
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int):
+        self.line = int(line)
+        self.column = int(column)
+
+    def to_string(self) -> str:
+        return f"{self.line}:{self.column}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Span):
+            return NotImplemented
+        return self.line == other.line and self.column == other.column
+
+    def __hash__(self) -> int:
+        return hash((self.line, self.column))
+
+    def __repr__(self) -> str:
+        return f"Span({self.line}, {self.column})"
 
 
 class Direction(enum.Enum):

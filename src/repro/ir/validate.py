@@ -1,6 +1,8 @@
 """Well-formedness validation for Calyx programs (paper Sections 3.2-3.3).
 
-Checks, per component:
+Historically this module held a hand-written checker; it is now a thin
+shim over the *core* rule subset of :mod:`repro.lint`. The lint rules
+check, per component:
 
 * every cell instantiates a known component or primitive,
 * every port reference resolves and is used in the right direction
@@ -8,103 +10,26 @@ Checks, per component:
 * assignment and comparison widths match,
 * guards built from bare ports use 1-bit ports,
 * each non-combinational group has a ``done`` condition,
-* no port has two unconditional drivers within one group (the unique-driver
-  requirement — conditionally guarded multiple drivers are permitted and
-  checked dynamically by the simulator),
-* the control program only names defined, non-combinational groups, and
-  ``with`` clauses name defined groups.
+* no port has two *conflicting* unconditional drivers within one
+  activation scope — the same group, or the always-active scope shared by
+  continuous assignments (the unique-driver requirement; conditionally
+  guarded multiple drivers are permitted and checked dynamically by the
+  simulator, and identical duplicate connections are only a lint warning),
+* the control program only names defined, non-combinational groups,
+  ``with`` clauses name defined groups, and invoke bindings match the
+  callee's signature.
+
+The raising behaviour is unchanged: the first error-severity diagnostic
+becomes an exception of the class the rule declares (``UndefinedError``,
+``WidthError``, ``MultipleDriverError``, or plain ``ValidationError``).
+Callers that want *all* findings — plus the non-core rules (cycle
+detection, latency claims, reachability, guard logic) — should call
+:func:`repro.lint.lint_program` instead.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
-from repro.errors import (
-    MultipleDriverError,
-    UndefinedError,
-    ValidationError,
-    WidthError,
-)
-from repro.ir.ast import (
-    Assignment,
-    CellPort,
-    Component,
-    ConstPort,
-    Group,
-    HolePort,
-    PortRef,
-    Program,
-    ThisPort,
-)
-from repro.ir.control import Enable, If, Invoke, While
-from repro.ir.guards import CmpGuard, Guard, NotGuard, AndGuard, OrGuard, PortGuard
-from repro.ir.types import Direction, PortDef
-
-
-class _Resolver:
-    """Resolves port references to definitions within one component."""
-
-    def __init__(self, program: Program, comp: Component):
-        self.program = program
-        self.comp = comp
-        self._cell_sigs: Dict[str, Dict[str, PortDef]] = {}
-
-    def resolve(self, ref: PortRef) -> Optional[PortDef]:
-        """PortDef for a reference; None for holes and constants."""
-        if isinstance(ref, (HolePort, ConstPort)):
-            return None
-        if isinstance(ref, ThisPort):
-            return self.comp.port_def(ref.port)
-        if isinstance(ref, CellPort):
-            sig = self.cell_signature(ref.cell)
-            if ref.port not in sig:
-                cell = self.comp.get_cell(ref.cell)
-                raise UndefinedError(
-                    f"component {self.comp.name!r}: cell {ref.cell!r} "
-                    f"({cell.comp_name}) has no port {ref.port!r}"
-                )
-            return sig[ref.port]
-        raise ValidationError(f"unknown port reference kind: {ref!r}")
-
-    def cell_signature(self, cell_name: str) -> Dict[str, PortDef]:
-        if cell_name not in self._cell_sigs:
-            cell = self.comp.get_cell(cell_name)
-            self._cell_sigs[cell_name] = self.program.cell_signature(cell)
-        return self._cell_sigs[cell_name]
-
-    def width(self, ref: PortRef) -> int:
-        if isinstance(ref, ConstPort):
-            return ref.width
-        if isinstance(ref, HolePort):
-            return 1
-        port = self.resolve(ref)
-        assert port is not None
-        return port.width
-
-    def is_writable(self, ref: PortRef) -> bool:
-        """May this reference appear as an assignment destination?
-
-        Cell inputs and this-component *outputs* are writable, as are holes.
-        """
-        if isinstance(ref, ConstPort):
-            return False
-        if isinstance(ref, HolePort):
-            return True
-        port = self.resolve(ref)
-        assert port is not None
-        if isinstance(ref, ThisPort):
-            return port.direction is Direction.OUTPUT
-        return port.direction is Direction.INPUT
-
-    def is_readable(self, ref: PortRef) -> bool:
-        """May this reference appear as a source or in a guard?"""
-        if isinstance(ref, (ConstPort, HolePort)):
-            return True
-        port = self.resolve(ref)
-        assert port is not None
-        if isinstance(ref, ThisPort):
-            return port.direction is Direction.INPUT
-        return port.direction is Direction.OUTPUT
+from repro.ir.ast import Component, Program
 
 
 def validate_program(program: Program) -> None:
@@ -114,141 +39,11 @@ def validate_program(program: Program) -> None:
 
 
 def validate_component(program: Program, comp: Component) -> None:
-    resolver = _Resolver(program, comp)
-    comp.signature()  # raises on duplicate port names
+    """Run the core lint rules over one component; raise the first error."""
+    # Imported lazily: repro.lint imports the IR package, so a module-level
+    # import here would be circular.
+    from repro.lint import exception_for, lint_component
 
-    for cell in comp.cells.values():
-        program.cell_signature(cell)  # raises on unknown components / bad arity
-
-    for group in comp.groups.values():
-        _validate_group(resolver, group)
-
-    for assign in comp.continuous:
-        _validate_assignment(resolver, assign, context="continuous assignments")
-        if any(isinstance(ref, HolePort) for ref in assign.ports()):
-            raise ValidationError(
-                f"component {comp.name!r}: continuous assignment "
-                f"{assign.to_string()} may not reference group holes"
-            )
-
-    _validate_control(resolver, comp)
-
-
-def _validate_group(resolver: _Resolver, group: Group) -> None:
-    comp = resolver.comp
-    unconditional: Dict[PortRef, Assignment] = {}
-    for assign in group.assignments:
-        _validate_assignment(resolver, assign, context=f"group {group.name!r}")
-        if assign.is_unconditional():
-            if assign.dst in unconditional:
-                raise MultipleDriverError(
-                    f"component {comp.name!r}, group {group.name!r}: port "
-                    f"{assign.dst.to_string()} has multiple unconditional drivers"
-                )
-            unconditional[assign.dst] = assign
-        for ref in assign.ports():
-            if isinstance(ref, HolePort) and ref.group != group.name:
-                if ref.group not in comp.groups:
-                    raise UndefinedError(
-                        f"component {comp.name!r}, group {group.name!r}: "
-                        f"hole {ref.to_string()} names an undefined group"
-                    )
-    if not group.comb and not group.done_assignments():
-        raise ValidationError(
-            f"component {comp.name!r}: group {group.name!r} has no done condition"
-        )
-    if group.comb:
-        for assign in group.assignments:
-            if isinstance(assign.dst, HolePort):
-                raise ValidationError(
-                    f"component {comp.name!r}: combinational group "
-                    f"{group.name!r} may not write holes"
-                )
-
-
-def _validate_assignment(resolver: _Resolver, assign: Assignment, context: str) -> None:
-    comp_name = resolver.comp.name
-    prefix = f"component {comp_name!r}, {context}"
-
-    if not resolver.is_writable(assign.dst):
-        raise ValidationError(
-            f"{prefix}: {assign.dst.to_string()} is not a writable port"
-        )
-    if not resolver.is_readable(assign.src):
-        raise ValidationError(
-            f"{prefix}: {assign.src.to_string()} is not a readable port"
-        )
-    dst_width = resolver.width(assign.dst)
-    src_width = resolver.width(assign.src)
-    if dst_width != src_width:
-        raise WidthError(
-            f"{prefix}: width mismatch in {assign.to_string()} "
-            f"({dst_width} vs {src_width})"
-        )
-    _validate_guard(resolver, assign.guard, prefix)
-
-
-def _validate_guard(resolver: _Resolver, guard: Guard, prefix: str) -> None:
-    if isinstance(guard, PortGuard):
-        if not resolver.is_readable(guard.port):
-            raise ValidationError(
-                f"{prefix}: guard port {guard.port.to_string()} is not readable"
-            )
-        if resolver.width(guard.port) != 1:
-            raise WidthError(
-                f"{prefix}: guard port {guard.port.to_string()} must be 1 bit"
-            )
-    elif isinstance(guard, CmpGuard):
-        for side in (guard.left, guard.right):
-            if not resolver.is_readable(side):
-                raise ValidationError(
-                    f"{prefix}: comparison operand {side.to_string()} is not readable"
-                )
-        if resolver.width(guard.left) != resolver.width(guard.right):
-            raise WidthError(
-                f"{prefix}: comparison width mismatch in {guard.to_string()}"
-            )
-    elif isinstance(guard, NotGuard):
-        _validate_guard(resolver, guard.inner, prefix)
-    elif isinstance(guard, (AndGuard, OrGuard)):
-        _validate_guard(resolver, guard.left, prefix)
-        _validate_guard(resolver, guard.right, prefix)
-
-
-def _validate_control(resolver: _Resolver, comp: Component) -> None:
-    for node in comp.control.walk():
-        if isinstance(node, Enable):
-            group = comp.get_group(node.group)
-            if group.comb:
-                raise ValidationError(
-                    f"component {comp.name!r}: combinational group "
-                    f"{group.name!r} cannot be enabled directly"
-                )
-        elif isinstance(node, (If, While)):
-            if node.cond_group is not None:
-                comp.get_group(node.cond_group)
-            if not resolver.is_readable(node.port):
-                raise ValidationError(
-                    f"component {comp.name!r}: condition port "
-                    f"{node.port.to_string()} is not readable"
-                )
-            if resolver.width(node.port) != 1:
-                raise WidthError(
-                    f"component {comp.name!r}: condition port "
-                    f"{node.port.to_string()} must be 1 bit"
-                )
-        elif isinstance(node, Invoke):
-            cell = comp.get_cell(node.cell)
-            sig = resolver.program.cell_signature(cell)
-            for key in node.in_binds:
-                if key not in sig or sig[key].direction is not Direction.INPUT:
-                    raise ValidationError(
-                        f"component {comp.name!r}: invoke binds unknown input "
-                        f"{key!r} of cell {node.cell!r}"
-                    )
-            for key in node.out_binds:
-                if key not in sig or sig[key].direction is not Direction.OUTPUT:
-                    raise ValidationError(
-                        f"component {comp.name!r}: invoke binds unknown output "
-                        f"{key!r} of cell {node.cell!r}"
-                    )
+    report = lint_component(program, comp, core_only=True)
+    for diagnostic in report.errors:
+        raise exception_for(diagnostic.rule)(diagnostic.format())

@@ -1,0 +1,568 @@
+"""Core well-formedness rules (paper Sections 3.2-3.3).
+
+These rules subsume the checks that used to live inline in
+``ir/validate.py``. They are *core*: ``validate_program`` runs exactly
+this set and raises the first error using each rule's ``exception``
+class, so registration order below mirrors the validator's historical
+check order — signature, cells, groups, continuous assignments, control.
+
+Multiple-driver checking follows :func:`repro.sim.structural.static_drivers`
+scope semantics (shared with both simulation engines): two unconditional
+drivers of one port conflict when they live in the same activation scope —
+the same group, or both always-active. Identical duplicate connections are
+only a warning (``duplicate-assignment``); they cannot disagree, which is
+also what engine construction tolerates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    MultipleDriverError,
+    UndefinedError,
+    ValidationError,
+    WidthError,
+)
+from repro.ir.ast import Assignment, CellPort, ConstPort, HolePort, ThisPort
+from repro.ir.control import Enable, If, Invoke, While
+from repro.ir.guards import AndGuard, CmpGuard, NotGuard, OrGuard, PortGuard
+from repro.ir.ports import DONE, GO, PortRef
+from repro.ir.types import Direction
+from repro.lint.context import ComponentView
+from repro.lint.diagnostics import WARNING, LintReport
+from repro.lint.registry import LintRule, register_rule
+from repro.sim.structural import static_drivers
+
+
+def _assignments(view: ComponentView):
+    """Yield ``(context, group_name, assignment)`` over groups + continuous."""
+    comp = view.comp
+    for group in comp.groups.values():
+        for assign in group.assignments:
+            yield f"group {group.name!r}", group.name, assign
+    for assign in comp.continuous:
+        yield "continuous assignments", None, assign
+
+
+@register_rule
+class DuplicatePortRule(LintRule):
+    id = "duplicate-port"
+    core = True
+    exception = ValidationError
+    description = "a component declares the same port name twice"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        for name, count in view.duplicate_ports().items():
+            report.add(
+                self.diag(
+                    f"component {view.comp.name!r} declares port {name!r} "
+                    f"{count} times",
+                    component=view.comp.name,
+                    span=view.comp.span,
+                )
+            )
+
+
+@register_rule
+class UnknownNameRule(LintRule):
+    id = "unknown-name"
+    core = True
+    exception = UndefinedError
+    description = "a cell, port, group, or hole reference does not resolve"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        comp = view.comp
+
+        for cell in comp.cells.values():
+            failure = view.cell_failure(cell.name)
+            if failure is not None:
+                report.add(
+                    self.diag(
+                        f"cell {cell.name!r} does not instantiate a known "
+                        f"component: {failure}",
+                        component=comp.name,
+                        cell=cell.name,
+                        span=cell.span,
+                    )
+                )
+
+        for context, group_name, assign in _assignments(view):
+            for ref in assign.ports():
+                self._check_ref(view, report, ref, context, group_name, assign)
+
+        self._check_control(view, report)
+
+    def _check_ref(
+        self,
+        view: ComponentView,
+        report: LintReport,
+        ref: PortRef,
+        context: str,
+        group_name: Optional[str],
+        assign: Assignment,
+    ) -> None:
+        comp = view.comp
+        if isinstance(ref, ConstPort):
+            return
+        if isinstance(ref, HolePort):
+            # Hole existence only matters inside groups; holes in continuous
+            # assignments are categorically rejected by `continuous-hole`.
+            if group_name is not None and ref.group not in comp.groups:
+                report.add(
+                    self.diag(
+                        f"{context}: hole {ref.to_string()} names an "
+                        f"undefined group",
+                        component=comp.name,
+                        group=group_name,
+                        span=assign.span,
+                    )
+                )
+            return
+        if isinstance(ref, ThisPort):
+            if ref.port not in view.signature():
+                report.add(
+                    self.diag(
+                        f"{context}: component {comp.name!r} has no port "
+                        f"{ref.port!r}",
+                        component=comp.name,
+                        group=group_name,
+                        span=assign.span,
+                    )
+                )
+            return
+        if isinstance(ref, CellPort):
+            cell = comp.cells.get(ref.cell)
+            if cell is None:
+                report.add(
+                    self.diag(
+                        f"{context}: {ref.to_string()} names an undefined "
+                        f"cell {ref.cell!r}",
+                        component=comp.name,
+                        group=group_name,
+                        span=assign.span,
+                    )
+                )
+                return
+            sig = view.cell_signature(ref.cell)
+            if sig is None:
+                return  # the cell itself was already reported above
+            if ref.port not in sig:
+                report.add(
+                    self.diag(
+                        f"{context}: cell {ref.cell!r} ({cell.comp_name}) "
+                        f"has no port {ref.port!r}",
+                        component=comp.name,
+                        group=group_name,
+                        cell=ref.cell,
+                        span=assign.span,
+                    )
+                )
+
+    def _check_control(self, view: ComponentView, report: LintReport) -> None:
+        comp = view.comp
+        for node in comp.control.walk():
+            if isinstance(node, Enable):
+                if node.group not in comp.groups:
+                    report.add(
+                        self.diag(
+                            f"control enables undefined group {node.group!r}",
+                            component=comp.name,
+                            span=node.span,
+                        )
+                    )
+            elif isinstance(node, (If, While)):
+                if node.cond_group is not None and node.cond_group not in comp.groups:
+                    report.add(
+                        self.diag(
+                            f"control `with` clause names undefined group "
+                            f"{node.cond_group!r}",
+                            component=comp.name,
+                            span=node.span,
+                        )
+                    )
+                if not view.resolvable(node.port):
+                    report.add(
+                        self.diag(
+                            f"condition port {node.port.to_string()} does "
+                            f"not resolve",
+                            component=comp.name,
+                            span=node.span,
+                        )
+                    )
+            elif isinstance(node, Invoke):
+                if node.cell not in comp.cells:
+                    report.add(
+                        self.diag(
+                            f"invoke names undefined cell {node.cell!r}",
+                            component=comp.name,
+                            span=node.span,
+                        )
+                    )
+
+
+@register_rule
+class PortDirectionRule(LintRule):
+    id = "port-direction"
+    core = True
+    exception = ValidationError
+    description = "a port is written/read against its declared direction"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        comp = view.comp
+        for context, group_name, assign in _assignments(view):
+            if view.is_writable(assign.dst) is False:
+                report.add(
+                    self.diag(
+                        f"{context}: {assign.dst.to_string()} is not a "
+                        f"writable port",
+                        component=comp.name,
+                        group=group_name,
+                        span=assign.span,
+                    )
+                )
+            if view.is_readable(assign.src) is False:
+                report.add(
+                    self.diag(
+                        f"{context}: {assign.src.to_string()} is not a "
+                        f"readable port",
+                        component=comp.name,
+                        group=group_name,
+                        span=assign.span,
+                    )
+                )
+            for ref in assign.guard.ports():
+                if view.is_readable(ref) is False:
+                    report.add(
+                        self.diag(
+                            f"{context}: guard operand {ref.to_string()} is "
+                            f"not a readable port",
+                            component=comp.name,
+                            group=group_name,
+                            span=assign.span,
+                        )
+                    )
+        for node in comp.control.walk():
+            if isinstance(node, (If, While)):
+                if view.is_readable(node.port) is False:
+                    report.add(
+                        self.diag(
+                            f"condition port {node.port.to_string()} is not "
+                            f"readable",
+                            component=comp.name,
+                            span=node.span,
+                        )
+                    )
+
+
+@register_rule
+class WidthMismatchRule(LintRule):
+    id = "width-mismatch"
+    core = True
+    exception = WidthError
+    description = "assignment or invoke-binding source/destination widths differ"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        comp = view.comp
+        for context, group_name, assign in _assignments(view):
+            dst_width = view.width(assign.dst)
+            src_width = view.width(assign.src)
+            if dst_width is None or src_width is None:
+                continue
+            if dst_width != src_width:
+                report.add(
+                    self.diag(
+                        f"{context}: width mismatch in {assign.to_string()} "
+                        f"({dst_width} vs {src_width})",
+                        component=comp.name,
+                        group=group_name,
+                        span=assign.span,
+                    )
+                )
+
+
+@register_rule
+class GuardWidthRule(LintRule):
+    id = "guard-width"
+    core = True
+    exception = WidthError
+    description = "guard ports must be 1 bit; comparison operands equal width"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        comp = view.comp
+        for context, group_name, assign in _assignments(view):
+            self._check_guard(view, report, assign.guard, context, group_name, assign)
+        for node in comp.control.walk():
+            if isinstance(node, (If, While)):
+                width = view.width(node.port)
+                if width is not None and width != 1:
+                    report.add(
+                        self.diag(
+                            f"condition port {node.port.to_string()} must be "
+                            f"1 bit, is {width}",
+                            component=comp.name,
+                            span=node.span,
+                        )
+                    )
+
+    def _check_guard(self, view, report, guard, context, group_name, assign) -> None:
+        comp = view.comp
+        if isinstance(guard, PortGuard):
+            width = view.width(guard.port)
+            if width is not None and width != 1:
+                report.add(
+                    self.diag(
+                        f"{context}: guard port {guard.port.to_string()} "
+                        f"must be 1 bit, is {width}",
+                        component=comp.name,
+                        group=group_name,
+                        span=assign.span,
+                    )
+                )
+        elif isinstance(guard, CmpGuard):
+            left = view.width(guard.left)
+            right = view.width(guard.right)
+            if left is not None and right is not None and left != right:
+                report.add(
+                    self.diag(
+                        f"{context}: comparison width mismatch in "
+                        f"{guard.to_string()} ({left} vs {right})",
+                        component=comp.name,
+                        group=group_name,
+                        span=assign.span,
+                    )
+                )
+        elif isinstance(guard, NotGuard):
+            self._check_guard(view, report, guard.inner, context, group_name, assign)
+        elif isinstance(guard, (AndGuard, OrGuard)):
+            self._check_guard(view, report, guard.left, context, group_name, assign)
+            self._check_guard(view, report, guard.right, context, group_name, assign)
+
+
+def _driver_scopes(view: ComponentView):
+    """Unconditional drivers keyed by (scope, destination)."""
+    scopes: Dict[Tuple[Optional[str], PortRef], Assignment] = {}
+    duplicates = []
+    conflicts = []
+    for gate, assign in static_drivers(view.comp):
+        if not assign.is_unconditional():
+            continue
+        key = (gate, assign.dst)
+        prev = scopes.get(key)
+        if prev is None:
+            scopes[key] = assign
+        elif prev.src == assign.src:
+            duplicates.append((gate, prev, assign))
+        else:
+            conflicts.append((gate, prev, assign))
+    return conflicts, duplicates
+
+
+@register_rule
+class MultipleDriversRule(LintRule):
+    id = "multiple-drivers"
+    core = True
+    exception = MultipleDriverError
+    description = "two unconditional drivers of one port in the same scope"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        conflicts, _ = _driver_scopes(view)
+        for gate, prev, assign in conflicts:
+            where = f"group {gate!r}" if gate else "always-active scope"
+            report.add(
+                self.diag(
+                    f"port {assign.dst.to_string()} has multiple "
+                    f"unconditional drivers in the same {where}: "
+                    f"`{prev.to_string()}` and `{assign.to_string()}`",
+                    component=view.comp.name,
+                    group=gate,
+                    span=assign.span or prev.span,
+                )
+            )
+
+
+@register_rule
+class MissingDoneRule(LintRule):
+    id = "missing-done"
+    core = True
+    exception = ValidationError
+    description = "a non-combinational group never writes its done hole"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        for group in view.comp.groups.values():
+            if not group.comb and not group.done_assignments():
+                report.add(
+                    self.diag(
+                        f"group {group.name!r} has no done condition",
+                        component=view.comp.name,
+                        group=group.name,
+                        span=group.span,
+                    )
+                )
+
+
+@register_rule
+class CombGroupHoleRule(LintRule):
+    id = "comb-group-writes-hole"
+    core = True
+    exception = ValidationError
+    description = "a combinational group writes go/done holes"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        for group in view.comp.groups.values():
+            if not group.comb:
+                continue
+            for assign in group.assignments:
+                if isinstance(assign.dst, HolePort):
+                    report.add(
+                        self.diag(
+                            f"combinational group {group.name!r} may not "
+                            f"write hole {assign.dst.to_string()}",
+                            component=view.comp.name,
+                            group=group.name,
+                            span=assign.span,
+                        )
+                    )
+
+
+@register_rule
+class ContinuousHoleRule(LintRule):
+    id = "continuous-hole"
+    core = True
+    exception = ValidationError
+    description = "a continuous assignment references group holes"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        for assign in view.comp.continuous:
+            if any(isinstance(ref, HolePort) for ref in assign.ports()):
+                report.add(
+                    self.diag(
+                        f"continuous assignment {assign.to_string()} may not "
+                        f"reference group holes",
+                        component=view.comp.name,
+                        span=assign.span,
+                    )
+                )
+
+
+@register_rule
+class CombGroupEnabledRule(LintRule):
+    id = "comb-group-enabled"
+    core = True
+    exception = ValidationError
+    description = "control enables a combinational group directly"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        comp = view.comp
+        for node in comp.control.walk():
+            if isinstance(node, Enable):
+                group = comp.groups.get(node.group)
+                if group is not None and group.comb:
+                    report.add(
+                        self.diag(
+                            f"combinational group {group.name!r} cannot be "
+                            f"enabled directly",
+                            component=comp.name,
+                            group=group.name,
+                            span=node.span,
+                        )
+                    )
+
+
+@register_rule
+class InvokeBindingRule(LintRule):
+    id = "invoke-binding"
+    core = True
+    exception = ValidationError
+    description = "invoke binds unknown ports, wrong directions, or bad widths"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        comp = view.comp
+        for node in comp.control.walk():
+            if not isinstance(node, Invoke):
+                continue
+            if node.cell not in comp.cells:
+                continue  # unknown-name already covers this
+            sig = view.cell_signature(node.cell)
+            if sig is None:
+                continue
+            go = sig.get(GO)
+            done = sig.get(DONE)
+            if (
+                go is None
+                or go.direction is not Direction.INPUT
+                or done is None
+                or done.direction is not Direction.OUTPUT
+            ):
+                report.add(
+                    self.diag(
+                        f"invoke target {node.cell!r} has no go/done "
+                        f"interface and cannot be invoked",
+                        component=comp.name,
+                        cell=node.cell,
+                        span=node.span,
+                    )
+                )
+            for key, src in node.in_binds.items():
+                if key not in sig or sig[key].direction is not Direction.INPUT:
+                    report.add(
+                        self.diag(
+                            f"invoke binds unknown input {key!r} of cell "
+                            f"{node.cell!r}",
+                            component=comp.name,
+                            cell=node.cell,
+                            span=node.span,
+                        )
+                    )
+                    continue
+                self._check_width(view, report, node, key, sig[key].width, src)
+            for key, dst in node.out_binds.items():
+                if key not in sig or sig[key].direction is not Direction.OUTPUT:
+                    report.add(
+                        self.diag(
+                            f"invoke binds unknown output {key!r} of cell "
+                            f"{node.cell!r}",
+                            component=comp.name,
+                            cell=node.cell,
+                            span=node.span,
+                        )
+                    )
+                    continue
+                self._check_width(view, report, node, key, sig[key].width, dst)
+
+    def _check_width(self, view, report, node, key, port_width, ref) -> None:
+        bound = view.width(ref)
+        if bound is not None and bound != port_width:
+            report.add(
+                self.diag(
+                    f"invoke binding {key!r} of cell {node.cell!r} has "
+                    f"width {port_width}, bound to {ref.to_string()} of "
+                    f"width {bound}",
+                    component=view.comp.name,
+                    cell=node.cell,
+                    span=node.span,
+                    rule="width-mismatch",
+                )
+            )
+
+
+@register_rule
+class DuplicateAssignmentRule(LintRule):
+    id = "duplicate-assignment"
+    severity = WARNING
+    core = True
+    description = "the same connection is written twice in one scope"
+
+    def check_component(self, view: ComponentView, report: LintReport) -> None:
+        _, duplicates = _driver_scopes(view)
+        for gate, prev, assign in duplicates:
+            where = f"group {gate!r}" if gate else "always-active scope"
+            report.add(
+                self.diag(
+                    f"duplicate connection `{assign.to_string()}` in the "
+                    f"same {where} (harmless but redundant)",
+                    component=view.comp.name,
+                    group=gate,
+                    span=assign.span or prev.span,
+                )
+            )

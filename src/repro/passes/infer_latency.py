@@ -19,62 +19,20 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.analysis.latency import component_latency, control_latency
-from repro.ir.ast import CellPort, Component, ConstPort, Group, HolePort, Program
+from repro.analysis.latency import (
+    control_latency,
+    structural_group_latency,
+)
+from repro.ir.ast import Component, Group, Program
 from repro.ir.attributes import STATIC
-from repro.ir.ports import DONE
 from repro.passes.base import Pass, register_pass
-
-#: Ports that act as a "go" signal, per primitive interface style.
-_GO_PORTS = ("go", "write_en")
 
 
 def infer_group_latency(program: Program, comp: Component, group: Group) -> Optional[int]:
     """Apply the paper's rule to one group; returns the latency or None."""
     if group.attributes.has(STATIC):
         return group.attributes.get(STATIC)
-    done_writes = group.done_assignments()
-    if len(done_writes) != 1:
-        return None
-    done = done_writes[0]
-    # The done must mirror a single cell's done port, unconditionally or
-    # guarded by that same port.
-    src = done.src
-    if isinstance(src, CellPort) and src.port == DONE:
-        cell_name = src.cell
-    elif isinstance(src, ConstPort) and src.value == 1:
-        # Pattern: ``g[done] = cell.done ? 1`` — guard names the cell.
-        from repro.ir.guards import PortGuard
-
-        if not (
-            isinstance(done.guard, PortGuard)
-            and isinstance(done.guard.port, CellPort)
-            and done.guard.port.port == DONE
-        ):
-            return None
-        cell_name = done.guard.port.cell
-    else:
-        return None
-
-    if cell_name not in comp.cells:
-        return None
-    cell = comp.cells[cell_name]
-    latency = component_latency(program, cell.comp_name)
-    if latency is None:
-        return None
-
-    # The cell's go (or write_en) must be driven high within the group.
-    for assign in group.assignments:
-        dst = assign.dst
-        if (
-            isinstance(dst, CellPort)
-            and dst.cell == cell_name
-            and dst.port in _GO_PORTS
-            and isinstance(assign.src, ConstPort)
-            and assign.src.value == 1
-        ):
-            return latency
-    return None
+    return structural_group_latency(program, comp, group)
 
 
 @register_pass

@@ -99,13 +99,14 @@ def make_pass_manager(
     passes: Optional[List[str]] = None,
     checked: bool = False,
     keep_going: bool = False,
+    lint: bool = False,
 ) -> PassManager:
     """Build a (possibly checked) pass manager for a pipeline."""
     names = resolve_pipeline(pipeline, passes)
-    if checked or keep_going:
+    if checked or keep_going or lint:
         from repro.robustness.checked import CheckedPassManager
 
-        return CheckedPassManager(names, keep_going=keep_going)
+        return CheckedPassManager(names, keep_going=keep_going, lint=lint)
     return PassManager(names)
 
 
@@ -115,12 +116,16 @@ def compile_program(
     passes: Optional[List[str]] = None,
     checked: bool = False,
     keep_going: bool = False,
+    lint: bool = False,
 ) -> Program:
     """Run a named pipeline (or explicit pass list) on ``program`` in place.
 
     With ``checked`` the IR is re-validated after every pass and failures
     surface as :class:`~repro.errors.PassDiagnostic`; ``keep_going``
     additionally rolls back and skips a failing pass instead of aborting.
+    ``lint`` opts into running the full lint rule set between passes, so
+    a pass that introduces (say) a combinational cycle or a wrong
+    ``"static"`` claim is named immediately.
     """
-    make_pass_manager(pipeline, passes, checked, keep_going).run(program)
+    make_pass_manager(pipeline, passes, checked, keep_going, lint).run(program)
     return program

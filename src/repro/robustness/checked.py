@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import CalyxError, InvariantViolation, PassDiagnostic
+from repro.errors import CalyxError, InvariantViolation, LintError, PassDiagnostic
 from repro.ir.ast import Program
 from repro.ir.control import Empty, Enable, Invoke, Repeat
 from repro.ir.printer import print_program
@@ -162,6 +162,12 @@ class CheckedPassManager(PassManager):
         Deep-copy the program before each pass so diagnostics can show
         the before-IR and ``keep_going`` can roll back. Disabling trades
         diagnostics for speed.
+    lint:
+        Opt-in: run the *full* lint rule set (:func:`repro.lint.lint_program`)
+        after each pass and fail on error-severity findings. Stricter than
+        ``validate`` — it also catches combinational cycles, contradicted
+        ``"static"`` claims, and the other non-core rules — and the
+        resulting :class:`PassDiagnostic` names the offending pass.
     """
 
     def __init__(
@@ -170,11 +176,13 @@ class CheckedPassManager(PassManager):
         keep_going: bool = False,
         validate: bool = True,
         snapshot: bool = True,
+        lint: bool = False,
     ):
         super().__init__(pass_names)
         self.keep_going = keep_going
         self.validate = validate
         self.snapshot = snapshot
+        self.lint = lint
         self.degradations: List[PassDiagnostic] = []
 
     def _run_one(
@@ -186,6 +194,8 @@ class CheckedPassManager(PassManager):
             if self.validate:
                 validate_program(program)
             check_post_conditions(name, program)
+            if self.lint:
+                self._lint(name, program)
         except CalyxError as exc:
             diagnostic = PassDiagnostic(
                 name,
@@ -199,6 +209,18 @@ class CheckedPassManager(PassManager):
                 self.degradations.append(diagnostic)
             else:
                 raise diagnostic from exc
+
+    @staticmethod
+    def _lint(pass_name: str, program: Program) -> None:
+        from repro.lint import lint_program  # lazy: lint imports the IR
+
+        report = lint_program(program)
+        if not report.ok:
+            raise LintError(
+                f"lint failed after pass {pass_name!r} "
+                f"({report.summary()}):\n{report.format_text()}",
+                report=report,
+            )
 
     def degradation_report(self) -> str:
         """Human-readable summary of skipped passes (``keep_going`` mode)."""

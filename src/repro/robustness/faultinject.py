@@ -23,10 +23,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import CalyxError
 from repro.ir.ast import CellPort, Component, Program, ThisPort
 from repro.ir.guards import NotGuard
-from repro.ir.validate import _Resolver
+from repro.lint.context import ComponentView
 from repro.robustness.difftest import DifftestReport, difftest_program
 from repro.sim.model import ComponentInstance
 
@@ -75,7 +74,7 @@ def _mutation_sites(program: Program) -> List[IRMutation]:
     """Every applicable mutation, in deterministic program order."""
     sites: List[IRMutation] = []
     for comp in program.components:
-        resolver = _Resolver(program, comp)
+        view = ComponentView(program, comp)
         scopes: List[Tuple[Optional[str], list]] = [
             (name, comp.groups[name].assignments) for name in comp.groups
         ]
@@ -107,11 +106,11 @@ def _mutation_sites(program: Program) -> List[IRMutation]:
             for i, a in enumerate(assigns):
                 for j in range(i + 1, len(assigns)):
                     b = assigns[j]
-                    try:
-                        same = resolver.width(a.src) == resolver.width(b.src)
-                    except CalyxError:
+                    width_a = view.width(a.src)
+                    width_b = view.width(b.src)
+                    if width_a is None or width_b is None:
                         continue
-                    if same and a.src != b.src:
+                    if width_a == width_b and a.src != b.src:
                         sites.append(
                             IRMutation(
                                 "swap-port",

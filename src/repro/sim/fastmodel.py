@@ -51,6 +51,7 @@ from repro.ir.ast import (
     Program,
     ThisPort,
 )
+from repro.analysis.graph import cyclic_sccs, tarjan_scc
 from repro.ir.control import Invoke
 from repro.ir.guards import (
     AndGuard,
@@ -598,59 +599,10 @@ class FastComponentInstance:
             for slot in self._node_out_slots(node):
                 adj[node.index].extend(self._fanout[slot])
 
-        scc_of = [-1] * n
-        sccs: List[List[int]] = []
-        index_of = [-1] * n
-        low = [0] * n
-        on_stack = [False] * n
-        stack: List[int] = []
-        counter = [0]
-
-        for root in range(n):
-            if index_of[root] != -1:
-                continue
-            # Iterative Tarjan: (node, iterator position) work stack.
-            work = [(root, 0)]
-            while work:
-                v, pi = work.pop()
-                if pi == 0:
-                    index_of[v] = low[v] = counter[0]
-                    counter[0] += 1
-                    stack.append(v)
-                    on_stack[v] = True
-                recurse = False
-                for i in range(pi, len(adj[v])):
-                    w = adj[v][i]
-                    if index_of[w] == -1:
-                        work.append((v, i + 1))
-                        work.append((w, 0))
-                        recurse = True
-                        break
-                    if on_stack[w]:
-                        low[v] = min(low[v], index_of[w])
-                if recurse:
-                    continue
-                if low[v] == index_of[v]:
-                    component = []
-                    while True:
-                        w = stack.pop()
-                        on_stack[w] = False
-                        scc_of[w] = len(sccs)
-                        component.append(w)
-                        if w == v:
-                            break
-                    # Deterministic member order = construction order.
-                    component.sort()
-                    sccs.append(component)
-                if work:
-                    parent = work[-1][0]
-                    low[parent] = min(low[parent], low[v])
-
+        scc_of, sccs = tarjan_scc(adj)
         self._scc_of = scc_of
         self._scc_nodes = sccs
-        self._scc_cyclic = [
-            len(members) > 1 or members[0] in adj[members[0]] for members in sccs
-        ]
+        self._scc_cyclic = cyclic_sccs(adj, scc_of, sccs)
         # Tarjan emits SCCs in reverse topological order; walk forward.
         levels = [0] * len(sccs)
         for scc_id in range(len(sccs) - 1, -1, -1):

@@ -22,7 +22,9 @@ Well-formedness by construction:
 
 from __future__ import annotations
 
+import copy
 import random
+import re
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -44,10 +46,13 @@ class GroupSpec:
 
     name: str
     lines: List[str]
+    #: rendered verbatim after the group name, e.g. ``<"static"=4>``;
+    #: empty for generated programs, set by the lint-oracle mutators.
+    attrs: str = ""
 
     def render(self) -> List[str]:
         body = "".join(f"      {line}\n" for line in self.lines)
-        return [f"    group {self.name} {{\n{body}    }}"]
+        return [f"    group {self.name}{self.attrs} {{\n{body}    }}"]
 
 
 @dataclass
@@ -447,6 +452,144 @@ def shrink_spec(
         else:
             return current
     return current
+
+
+# ---------------------------------------------------------------------------
+# Lint oracle
+# ---------------------------------------------------------------------------
+#
+# The same generator doubles as a test oracle for the static linter:
+# programs that are well-formed by construction must lint with zero
+# errors, and a seeded *invalidating* mutation must trip exactly the rule
+# built to catch it. Mutations are applied to the spec (not the rendered
+# text), so a failing oracle case shrinks through the ordinary
+# ``shrink_spec`` machinery — every shrunk candidate is re-mutated and
+# re-linted.
+
+#: mutation name → the lint rule id its output must trip.
+LINT_MUTATIONS: Dict[str, str] = {
+    "dup-driver": "multiple-drivers",
+    "width-corrupt": "width-mismatch",
+    "bogus-static": "static-latency-mismatch",
+}
+
+#: an unconditional constant register write, e.g. ``r1.in = 8'd42;``.
+_CONST_WRITE = re.compile(r"^(\w+)\.in = (\d+)'d(\d+);$")
+
+
+def _walk_groups(spec: ProgramSpec):
+    for node in spec.root.walk():
+        for group in node.groups:
+            yield group
+
+
+def mutate_spec(spec: ProgramSpec, mutation: str) -> Optional[ProgramSpec]:
+    """A deep-copied ``spec`` with one invalidating ``mutation`` applied.
+
+    Site selection is deterministic (first applicable group in control
+    order) so shrinking re-finds the same kind of site. Returns ``None``
+    when the spec offers no applicable site.
+
+    * ``dup-driver`` — duplicate a constant register write with the value's
+      low bit flipped: two unconditional drivers, different sources, same
+      group scope.
+    * ``width-corrupt`` — widen a constant source by one bit, breaking the
+      assignment's width agreement.
+    * ``bogus-static`` — claim ``<"static"=4>`` on a single-register write
+      group whose structural latency is provably 1.
+    """
+    if mutation not in LINT_MUTATIONS:
+        raise ValueError(
+            f"unknown lint mutation {mutation!r}; "
+            f"choose from {', '.join(sorted(LINT_MUTATIONS))}"
+        )
+    mutated = copy.deepcopy(spec)
+    for group in _walk_groups(mutated):
+        if mutation == "bogus-static":
+            writes_en = any(".write_en = 1;" in line for line in group.lines)
+            reg_done = any(
+                re.match(r"^\w+\[done\] = \w+\.done;$", line)
+                for line in group.lines
+            )
+            if writes_en and reg_done:
+                group.attrs = '<"static"=4>'
+                return mutated
+            continue
+        for i, line in enumerate(group.lines):
+            match = _CONST_WRITE.match(line)
+            if match is None:
+                continue
+            target, width, value = (
+                match.group(1),
+                int(match.group(2)),
+                int(match.group(3)),
+            )
+            if mutation == "dup-driver":
+                group.lines.insert(
+                    i + 1, f"{target}.in = {width}'d{value ^ 1};"
+                )
+            else:  # width-corrupt
+                group.lines[i] = f"{target}.in = {width + 1}'d{value};"
+            return mutated
+    return None
+
+
+def lint_spec(spec: ProgramSpec):
+    """Parse a spec's rendered source and run the full lint rule set."""
+    from repro.lint import lint_program  # lazy: repro.lint imports repro.sim
+
+    return lint_program(parse_program(spec.render()))
+
+
+def lint_check_spec(
+    spec: ProgramSpec, mutation: Optional[str] = None
+) -> Optional[str]:
+    """The lint oracle for one spec; a violation description or ``None``.
+
+    With ``mutation=None`` the spec must lint with zero errors. With a
+    mutation name, the mutated spec must report the mutation's expected
+    rule id at error severity (an inapplicable mutation site is vacuously
+    fine — shrinking can remove every site).
+    """
+    if mutation is None:
+        report = lint_spec(spec)
+        if report.errors:
+            rules = ", ".join(sorted({d.rule for d in report.errors}))
+            return f"well-formed program linted with errors: {rules}"
+        return None
+    mutated = mutate_spec(spec, mutation)
+    if mutated is None:
+        return None
+    expected = LINT_MUTATIONS[mutation]
+    tripped = {d.rule for d in lint_spec(mutated).errors}
+    if expected not in tripped:
+        return (
+            f"mutation {mutation!r} expected rule {expected!r}, "
+            f"lint reported: {', '.join(sorted(tripped)) or '(clean)'}"
+        )
+    return None
+
+
+def lint_oracle(seed: int, mutation: Optional[str] = None) -> Optional[str]:
+    """Generate one seeded program and hold the lint oracle over it.
+
+    Returns ``None`` when the oracle holds; otherwise a report with the
+    shrunk minimal spec's source. Checks the unmutated program when
+    ``mutation`` is ``None``, one mutation class otherwise.
+    """
+    spec = generate_spec(seed)
+    violation = lint_check_spec(spec, mutation)
+    if violation is None:
+        return None
+    minimal = shrink_spec(
+        spec, fails=lambda s: lint_check_spec(s, mutation) is not None
+    )
+    final = lint_check_spec(minimal, mutation) or violation
+    shown = minimal if mutation is None else (mutate_spec(minimal, mutation) or minimal)
+    return (
+        f"lint oracle failed for seed {seed}: {final}\n"
+        f"minimal repro:\n{shown.render()}"
+    )
 
 
 def cross_check(seed: int) -> Optional[str]:

@@ -90,19 +90,42 @@ class SimulationResult:
 
 
 class Testbench:
-    """Owns a component instance and runs it to completion."""
+    """Owns a component instance and runs it to completion.
+
+    ``preflight`` opts into a full lint of the program *before* engine
+    construction: error-severity findings (combinational cycles, driver
+    races, bad widths, …) surface as a :class:`~repro.errors.LintError`
+    with every diagnostic, instead of whichever single failure the engine
+    happens to trip over first while building its netlist.
+    """
 
     def __init__(
         self,
         program: Program,
         entrypoint: Optional[str] = None,
         engine: str = DEFAULT_ENGINE,
+        preflight: bool = False,
     ):
+        if preflight:
+            self._preflight(program)
         self.program = program
         self.engine = engine
         name = entrypoint or program.entrypoint
         make_instance = resolve_engine(engine)
         self.instance = make_instance(program, program.get_component(name))
+
+    @staticmethod
+    def _preflight(program: Program) -> None:
+        from repro.errors import LintError
+        from repro.lint import lint_program  # lazy: lint imports sim
+
+        report = lint_program(program)
+        if not report.ok:
+            raise LintError(
+                f"pre-flight lint failed ({report.summary()}):\n"
+                f"{report.format_text()}",
+                report=report,
+            )
 
     # -- memory poking ----------------------------------------------------
     def _memory(self, path: str):
@@ -214,9 +237,10 @@ def run_program(
     max_cycles: int = DEFAULT_MAX_CYCLES,
     watchdog: Optional[Watchdog] = None,
     engine: str = DEFAULT_ENGINE,
+    preflight: bool = False,
 ) -> SimulationResult:
     """One-shot convenience: build a testbench, load memories, run."""
-    bench = Testbench(program, entrypoint, engine=engine)
+    bench = Testbench(program, entrypoint, engine=engine, preflight=preflight)
     for path, values in (memories or {}).items():
         bench.write_mem(path, values)
     return bench.run(max_cycles, watchdog=watchdog)

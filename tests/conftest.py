@@ -8,6 +8,15 @@ from repro.ir import parse_program
 from repro.passes import compile_program
 from repro.sim import run_program
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/ snapshots instead of comparing",
+    )
+
 # A small but complete program: initialize an index, loop over a memory
 # accumulating into a register, store the result. Exercises seq, while,
 # conditions, memories, and registers.

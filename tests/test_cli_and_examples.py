@@ -159,3 +159,65 @@ def test_example_runs(script):
         timeout=300,
     )
     assert result.returncode == 0, result.stderr[-2000:]
+
+
+BAD_DRIVERS = """
+component main(go: 1) -> (done: 1) {
+  cells { x = std_reg(32); }
+  wires {
+    group one {
+      x.in = 32'd5; x.in = 32'd6; x.write_en = 1;
+      one[done] = x.done;
+    }
+  }
+  control { one; }
+}
+"""
+
+
+class TestLintCli:
+    """Exit codes: 0 clean (warnings allowed), 1 lint errors, 2 toolchain."""
+
+    @pytest.fixture
+    def bad_file(self, tmp_path):
+        path = tmp_path / "bad.futil"
+        path.write_text(BAD_DRIVERS)
+        return str(path)
+
+    def test_clean_file_exits_zero(self, futil_file, capsys):
+        assert cli_main(["lint", futil_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_clean_across_stages(self, futil_file, capsys):
+        assert cli_main(["lint", futil_file, "-p", "all", "--stages"]) == 0
+        assert "clean across" in capsys.readouterr().out
+
+    def test_lint_errors_exit_one(self, bad_file, capsys):
+        assert cli_main(["lint", bad_file]) == 1
+        assert "multiple-drivers" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_two(self, capsys):
+        assert cli_main(["lint", "no/such/file.futil"]) == 2
+
+    def test_json_format(self, bad_file, capsys):
+        import json
+
+        assert cli_main(["lint", bad_file, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["files"]
+        assert entry["errors"] >= 1
+        rules = {
+            d["rule"]
+            for stage in entry["stages"]
+            for d in stage["diagnostics"]
+        }
+        assert "multiple-drivers" in rules
+
+    def test_rules_table(self, capsys):
+        assert cli_main(["lint", "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "multiple-drivers" in out and "comb-cycle" in out
+
+    def test_no_files_is_an_error(self, capsys):
+        assert cli_main(["lint"]) == 1
+        assert "no input files" in capsys.readouterr().err

@@ -1,0 +1,94 @@
+"""Golden snapshot tests for the compilation pipeline.
+
+For three example programs, the printed IL after *every* stage of the
+``all`` pipeline is compared against checked-in snapshots under
+``tests/goldens/<example>/NN-<pass>.futil``; one example additionally
+pins the emitted Verilog. A diff in any snapshot is a behavior change in
+a specific pass — the failing file names which one.
+
+Run ``pytest tests/test_goldens.py --update-goldens`` after an
+*intentional* pipeline change to rewrite the snapshots, then review the
+git diff of ``tests/goldens/`` like any other code change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+import pytest
+
+from repro.backend import emit_verilog
+from repro.ir import parse_program, print_program
+from repro.passes import make_pass_manager
+from repro.passes.pipeline import resolve_pipeline
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDENS = Path(__file__).resolve().parent / "goldens"
+
+#: the examples pinned stage-by-stage (all of them small and stable).
+EXAMPLES = ("sum_loop", "dot_product", "branch_max")
+#: the one example whose final Verilog is pinned too.
+VERILOG_EXAMPLE = "sum_loop"
+
+
+def _stage_snapshots(name: str) -> Iterator[Tuple[str, str]]:
+    """Yield ``(snapshot_name, text)`` for the source and every stage."""
+    source = (REPO / "examples" / f"{name}.futil").read_text()
+    program = parse_program(source)
+    yield "00-source.futil", print_program(program)
+    for index, pass_name in enumerate(resolve_pipeline("all"), start=1):
+        make_pass_manager(passes=[pass_name]).run(program)
+        yield f"{index:02d}-{pass_name}.futil", print_program(program)
+    if name == VERILOG_EXAMPLE:
+        yield "verilog.sv", emit_verilog(program)
+
+
+def _check_snapshots(
+    directory: Path, snapshots: List[Tuple[str, str]], update: bool
+) -> List[str]:
+    """Write (update mode) or diff (check mode); returns mismatch names."""
+    mismatches = []
+    if update:
+        directory.mkdir(parents=True, exist_ok=True)
+        for stale in directory.glob("*"):
+            if stale.name not in {n for n, _ in snapshots}:
+                stale.unlink()
+    for snap_name, text in snapshots:
+        path = directory / snap_name
+        if update:
+            path.write_text(text)
+            continue
+        if not path.exists():
+            mismatches.append(f"{snap_name} (missing)")
+        elif path.read_text() != text:
+            mismatches.append(snap_name)
+    return mismatches
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_pipeline_stages_match_goldens(example, request):
+    update = request.config.getoption("--update-goldens")
+    snapshots = list(_stage_snapshots(example))
+    mismatches = _check_snapshots(GOLDENS / example, snapshots, update)
+    assert not mismatches, (
+        f"golden snapshots for {example!r} diverge at: "
+        f"{', '.join(mismatches)}; if the pipeline change is intentional, "
+        f"run `pytest tests/test_goldens.py --update-goldens` and review "
+        f"the diff"
+    )
+
+
+def test_goldens_cover_every_stage():
+    """The checked-in snapshot set matches the current pipeline exactly."""
+    expected = {"00-source.futil"} | {
+        f"{i:02d}-{name}.futil"
+        for i, name in enumerate(resolve_pipeline("all"), start=1)
+    }
+    for example in EXAMPLES:
+        present = {p.name for p in (GOLDENS / example).glob("*.futil")}
+        assert present == expected, (
+            f"stale or missing snapshots for {example!r}: "
+            f"{sorted(present ^ expected)}"
+        )
+    assert (GOLDENS / VERILOG_EXAMPLE / "verilog.sv").exists()

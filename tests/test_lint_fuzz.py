@@ -1,0 +1,85 @@
+"""The fuzz generator as a lint oracle.
+
+Seeded well-formed-by-construction programs must lint with zero errors;
+each seeded invalidating mutation must trip exactly the rule built to
+catch it; and a failing oracle case must shrink through the ordinary
+``shrink_spec`` machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.fuzz import (
+    LINT_MUTATIONS,
+    generate_spec,
+    lint_check_spec,
+    lint_oracle,
+    lint_spec,
+    mutate_spec,
+    shrink_spec,
+)
+
+SEEDS = range(12)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_generated_programs_lint_clean(seed):
+    report = lint_spec(generate_spec(seed))
+    assert not report.errors and not report.warnings
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("mutation", sorted(LINT_MUTATIONS))
+def test_mutations_trip_their_rule(seed, mutation):
+    assert lint_oracle(seed, mutation) is None
+
+
+def _seed_with_site(mutation):
+    for seed in range(100):
+        if mutate_spec(generate_spec(seed), mutation) is not None:
+            return seed
+    raise AssertionError(f"no seed offers a {mutation!r} site")
+
+
+@pytest.mark.parametrize("mutation", sorted(LINT_MUTATIONS))
+def test_every_mutation_finds_sites(mutation):
+    seed = _seed_with_site(mutation)
+    mutated = mutate_spec(generate_spec(seed), mutation)
+    expected = LINT_MUTATIONS[mutation]
+    assert expected in {d.rule for d in lint_spec(mutated).errors}
+
+
+def test_mutation_does_not_alter_the_input_spec():
+    seed = _seed_with_site("dup-driver")
+    spec = generate_spec(seed)
+    before = spec.render()
+    mutate_spec(spec, "dup-driver")
+    assert spec.render() == before
+
+
+def test_unknown_mutation_rejected():
+    with pytest.raises(ValueError, match="unknown lint mutation"):
+        mutate_spec(generate_spec(0), "frobnicate")
+
+
+def test_oracle_failures_shrink():
+    """An injected failure shrinks to a smaller spec that still fails."""
+    seed = _seed_with_site("dup-driver")
+    spec = generate_spec(seed)
+    fails = lambda s: mutate_spec(s, "dup-driver") is not None
+    minimal = shrink_spec(spec, fails=fails)
+    assert fails(minimal)
+    assert len(minimal.render()) <= len(spec.render())
+    # The mutated minimal spec still trips the expected rule: shrinking
+    # preserved the oracle's failure shape, not just spec validity.
+    mutated = mutate_spec(minimal, "dup-driver")
+    assert "multiple-drivers" in {d.rule for d in lint_spec(mutated).errors}
+
+
+def test_lint_check_spec_reports_escapes():
+    """A spec whose mutation goes undetected is reported, not silent."""
+    seed = _seed_with_site("width-corrupt")
+    spec = generate_spec(seed)
+    assert lint_check_spec(spec) is None
+    assert lint_check_spec(spec, "width-corrupt") is None

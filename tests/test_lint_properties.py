@@ -1,0 +1,112 @@
+"""Property-based tests tying guard simplification to the linter.
+
+Two contracts, both checked by *exhaustive* truth tables over a small
+port set (not sampled valuations):
+
+* ``simplify_guard`` is truth-table-equivalent to its input;
+* ``classify_guard`` verdicts are sound — a "tautology" evaluates true
+  and a "contradiction" false under **every** concrete valuation — and
+  stable under simplification.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.guards import (
+    AndGuard,
+    CmpGuard,
+    G_TRUE,
+    Guard,
+    NotGuard,
+    OrGuard,
+    PortGuard,
+)
+from repro.ir.ports import CellPort, ConstPort
+from repro.lint.rules_semantic import classify_guard
+from repro.passes.guard_simplify import simplify_guard
+from repro.sim.model import eval_guard
+
+_PORTS = [CellPort(name, "out") for name in ("a", "b", "c")]
+_VALUES = (0, 1, 2)
+
+
+@st.composite
+def guards(draw, depth=0) -> Guard:
+    if depth >= 3:
+        return PortGuard(draw(st.sampled_from(_PORTS)))
+    kind = draw(st.sampled_from(["port", "true", "not", "and", "or", "cmp"]))
+    if kind == "port":
+        return PortGuard(draw(st.sampled_from(_PORTS)))
+    if kind == "true":
+        return G_TRUE
+    if kind == "not":
+        return NotGuard(draw(guards(depth + 1)))
+    if kind == "cmp":
+        op = draw(st.sampled_from(["==", "!=", "<", ">", "<=", ">="]))
+        left = draw(st.sampled_from(_PORTS))
+        if draw(st.booleans()):
+            right = draw(st.sampled_from([p for p in _PORTS if p != left]))
+        else:
+            right = ConstPort(8, draw(st.sampled_from(_VALUES)))
+        return CmpGuard(op, left, right)
+    left = draw(guards(depth + 1))
+    right = draw(guards(depth + 1))
+    return AndGuard(left, right) if kind == "and" else OrGuard(left, right)
+
+
+def truth_table(guard: Guard):
+    """Guard outcomes under every valuation of the three ports."""
+    rows = []
+    for values in itertools.product(_VALUES, repeat=len(_PORTS)):
+        env = dict(zip(_PORTS, values))
+        read = lambda ref: (
+            ref.value if isinstance(ref, ConstPort) else env[ref]
+        )
+        rows.append(eval_guard(guard, read))
+    return rows
+
+
+@given(guards())
+@settings(max_examples=300, deadline=None)
+def test_simplify_guard_is_truth_table_equivalent(guard):
+    assert truth_table(simplify_guard(guard)) == truth_table(guard)
+
+
+@given(guards())
+@settings(max_examples=300, deadline=None)
+def test_classify_guard_verdicts_are_sound(guard):
+    verdict = classify_guard(guard)
+    if verdict is None:
+        return
+    rows = truth_table(guard)
+    if verdict == "tautology":
+        assert all(rows)
+    else:
+        assert verdict == "contradiction" and not any(rows)
+
+
+@given(guards())
+@settings(max_examples=300, deadline=None)
+def test_classify_guard_is_stable_under_simplification(guard):
+    before = classify_guard(guard)
+    after = classify_guard(simplify_guard(guard))
+    # Simplification may collapse a tautology to the (skipped) TrueGuard
+    # or strip the atoms a verdict needs, but two definite verdicts must
+    # never disagree: that would make the linter contradict the compiler.
+    if before is not None and after is not None:
+        assert before == after
+
+
+def test_known_verdicts():
+    a = PortGuard(_PORTS[0])
+    assert classify_guard(OrGuard(a, NotGuard(a))) == "tautology"
+    assert classify_guard(AndGuard(a, NotGuard(a))) == "contradiction"
+    assert classify_guard(a) is None
+    # Complementary comparison spellings share one atom:
+    lt = CmpGuard("<", _PORTS[0], _PORTS[1])
+    ge = CmpGuard(">=", _PORTS[0], _PORTS[1])
+    assert classify_guard(OrGuard(lt, ge)) == "tautology"
+    assert classify_guard(AndGuard(lt, ge)) == "contradiction"
